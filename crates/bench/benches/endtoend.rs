@@ -1,0 +1,70 @@
+//! End-to-end simulation throughput: full system runs (the unit of work
+//! behind every figure cell) and the analytic offline evaluator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use spindown_bench::workload::{self, Scale};
+use spindown_core::cost::CostFunction;
+use spindown_core::experiment::{run_experiment, ExperimentSpec, SchedulerKind};
+use spindown_core::placement::PlacementConfig;
+use spindown_core::sched::MwisSolver;
+use spindown_core::system::SystemConfig;
+use spindown_sim::time::SimDuration;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let scale = Scale {
+        requests: 10_000,
+        data_items: 4_000,
+        disks: 60,
+        rate: 10.0,
+    };
+    let requests = workload::cello(scale, 42);
+    let spec = |scheduler: SchedulerKind| ExperimentSpec {
+        placement: PlacementConfig {
+            disks: scale.disks,
+            replication: 3,
+            zipf_z: 1.0,
+        },
+        scheduler,
+        system: SystemConfig {
+            disks: scale.disks,
+            ..SystemConfig::default()
+        },
+        seed: 42,
+    };
+
+    let mut group = c.benchmark_group("end_to_end_10k_requests");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    for (name, kind) in [
+        ("static", SchedulerKind::Static),
+        ("random", SchedulerKind::Random),
+        (
+            "heuristic",
+            SchedulerKind::Heuristic(CostFunction::default()),
+        ),
+        (
+            "wsc",
+            SchedulerKind::Wsc {
+                cost: CostFunction::default(),
+                interval: SimDuration::from_millis(100),
+            },
+        ),
+        (
+            "mwis_offline",
+            SchedulerKind::Mwis {
+                solver: MwisSolver::GwMin,
+                max_successors: 3,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_experiment(&requests, &spec(kind.clone()))).energy_j);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the simulation kernel: event queue, PRNG,
+//! distributions, histogram.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use spindown_sim::event::EventQueue;
+use spindown_sim::rng::{AliasTable, SimRng, Zipf};
+use spindown_sim::stats::LatencyHistogram;
+use spindown_sim::time::SimTime;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for n in [1_000usize, 100_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("schedule_pop_{n}"), |b| {
+            let mut rng = SimRng::seed_from_u64(1);
+            let times: Vec<SimTime> = (0..n)
+                .map(|_| SimTime::from_micros(rng.next_below(1_000_000_000)))
+                .collect();
+            b.iter_batched(
+                EventQueue::<u32>::new,
+                |mut q| {
+                    for (i, &t) in times.iter().enumerate() {
+                        q.schedule(t, i as u32);
+                    }
+                    let mut sum = 0u64;
+                    while let Some(e) = q.pop() {
+                        sum += e.payload as u64;
+                    }
+                    black_box(sum)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("xoshiro_u64_1m", |b| {
+        let mut rng = SimRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        });
+    });
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("zipf_sample_100k", |b| {
+        let zipf = Zipf::new(30_000, 1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..100_000 {
+                acc += zipf.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("alias_sample_100k", |b| {
+        let weights: Vec<f64> = (1..=30_000).map(|r| 1.0 / r as f64).collect();
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = SimRng::seed_from_u64(4);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..100_000 {
+                acc += table.sample(&mut rng);
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record_100k", |b| {
+        let mut rng = SimRng::seed_from_u64(5);
+        let values: Vec<f64> = (0..100_000).map(|_| rng.exponential(10.0)).collect();
+        b.iter_batched(
+            LatencyHistogram::default,
+            |mut h| {
+                for &v in &values {
+                    h.record_secs(v);
+                }
+                black_box(h.quantile(0.9))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_histogram);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Benchmarks of scheduler decision latency: how long each algorithm
+//! takes to place requests (the cost a production dispatcher would pay).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use spindown_core::cost::{CostFunction, DiskStatus};
+use spindown_core::model::{DataId, Request};
+use spindown_core::placement::{PlacementConfig, PlacementMap};
+use spindown_core::sched::{
+    HeuristicScheduler, MwisPlanner, MwisSolver, Scheduler, SystemView, WscScheduler,
+};
+use spindown_disk::power::PowerParams;
+use spindown_disk::state::DiskPowerState;
+use spindown_sim::rng::SimRng;
+use spindown_sim::time::{SimDuration, SimTime};
+
+const DISKS: u32 = 180;
+
+fn fixture(n_requests: usize) -> (Vec<Request>, PlacementMap, Vec<DiskStatus>, PowerParams) {
+    let mut rng = SimRng::seed_from_u64(5);
+    let placement = PlacementMap::build(
+        30_000,
+        &PlacementConfig {
+            disks: DISKS,
+            replication: 3,
+            zipf_z: 1.0,
+        },
+        1,
+    );
+    let requests: Vec<Request> = (0..n_requests)
+        .map(|i| Request {
+            index: i as u32,
+            at: SimTime::from_millis(i as u64 * 50),
+            data: DataId(rng.next_below(30_000)),
+            size: 512 * 1024,
+        })
+        .collect();
+    let statuses: Vec<DiskStatus> = (0..DISKS)
+        .map(|d| DiskStatus {
+            state: if d % 3 == 0 {
+                DiskPowerState::Idle
+            } else {
+                DiskPowerState::Standby
+            },
+            last_request_at: (d % 3 == 0).then(|| SimTime::from_secs(d as u64 % 30)),
+            load: (d % 5) as usize,
+        })
+        .collect();
+    (requests, placement, statuses, PowerParams::barracuda())
+}
+
+fn bench_online(c: &mut Criterion) {
+    let (requests, placement, statuses, params) = fixture(10_000);
+    let mut group = c.benchmark_group("online_decisions");
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.bench_function("heuristic_10k", |b| {
+        let mut sched = HeuristicScheduler::new(CostFunction::default());
+        b.iter(|| {
+            let view = SystemView {
+                now: SimTime::from_secs(100),
+                params: &params,
+                placement: &placement,
+                statuses: &statuses,
+            };
+            let mut picked = 0u64;
+            for r in &requests {
+                picked += sched.assign(std::slice::from_ref(r), &view)[0].0 as u64;
+            }
+            black_box(picked)
+        });
+    });
+    group.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_decisions");
+    for batch in [16usize, 128, 1024] {
+        let (requests, placement, statuses, params) = fixture(batch);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_function(format!("wsc_batch_{batch}"), |b| {
+            let mut sched =
+                WscScheduler::new(CostFunction::default(), SimDuration::from_millis(100));
+            b.iter(|| {
+                let view = SystemView {
+                    now: SimTime::from_secs(100),
+                    params: &params,
+                    placement: &placement,
+                    statuses: &statuses,
+                };
+                black_box(sched.assign(&requests, &view)).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mwis_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwis_planner");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        let (requests, placement, _, params) = fixture(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("plan_{n}"), |b| {
+            let planner = MwisPlanner {
+                params: params.clone(),
+                solver: MwisSolver::GwMin,
+                max_successors: 3,
+            };
+            b.iter(|| black_box(planner.plan(&requests, &placement)).1);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online, bench_batch, bench_mwis_planner);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks of the graph-algorithm substrate: MWIS greedies vs exact,
+//! and weighted set cover — the per-decision costs behind the paper's
+//! Table/Figure reproduction runs.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use spindown_graph::graph::{Graph, NodeId};
+use spindown_graph::mwis;
+use spindown_graph::setcover::SetCoverInstance;
+use spindown_sim::rng::SimRng;
+
+/// A random weighted graph with average degree ~6 (the conflict graphs
+/// the MWIS scheduler builds are similarly sparse).
+fn random_graph(n: usize, seed: u64) -> Graph {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n).map(|_| 1.0 + rng.next_f64() * 9.0).collect();
+    let mut g = Graph::with_weights(weights);
+    for _ in 0..n * 3 {
+        let u = rng.index(n) as NodeId;
+        let v = rng.index(n) as NodeId;
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+fn bench_mwis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mwis");
+    for n in [1_000usize, 10_000, 100_000] {
+        let g = random_graph(n, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("gwmin_{n}"), |b| {
+            b.iter(|| black_box(mwis::gwmin(&g)).len());
+        });
+        group.bench_function(format!("gwmin2_{n}"), |b| {
+            b.iter(|| black_box(mwis::gwmin2(&g)).len());
+        });
+    }
+    let g = random_graph(1_000, 7);
+    group.bench_function("local_search_1000", |b| {
+        let start = mwis::gwmin(&g);
+        b.iter(|| black_box(mwis::local_search(&g, &start)).len());
+    });
+    let small = random_graph(24, 9);
+    group.bench_function("exact_24", |b| {
+        b.iter(|| black_box(mwis::exact(&small, 24)).unwrap().len());
+    });
+    group.finish();
+}
+
+fn bench_setcover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setcover");
+    // Batch-scheduler-shaped instances: elements = queued requests, sets
+    // = candidate disks covering ~rf requests each.
+    for (elements, sets) in [(32usize, 48usize), (256, 180), (2048, 180)] {
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut inst = SetCoverInstance::new(elements);
+        for e in 0..elements {
+            inst.add_set(1.0 + rng.next_f64(), [e as u32]);
+        }
+        for _ in 0..sets {
+            let k = 1 + rng.index(8);
+            let elems: Vec<u32> = (0..k).map(|_| rng.index(elements) as u32).collect();
+            inst.add_set(rng.next_f64() * 300.0, elems);
+        }
+        group.throughput(Throughput::Elements(elements as u64));
+        group.bench_function(format!("greedy_{elements}e_{sets}s"), |b| {
+            b.iter(|| black_box(inst.solve_greedy()).unwrap().weight);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mwis, bench_setcover);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Shared experiment grids: one simulation per (trace, replication
+//! factor, scheduler) cell. Figures 6–9 read the Cello grid; Figures
+//! 14–17 read the Financial grid; the latency figures (12–13) reuse the
+//! same runs plus an always-on reference.
+
+use spindown_core::experiment::{
+    run_always_on_baseline, run_experiment, ExperimentSpec, SchedulerKind,
+};
+use spindown_core::metrics::RunMetrics;
+use spindown_core::model::Request;
+use spindown_core::placement::PlacementConfig;
+use spindown_core::system::SystemConfig;
+
+use crate::workload::Scale;
+
+/// The replication factors the paper sweeps.
+pub const RF_SWEEP: [u32; 5] = [1, 2, 3, 4, 5];
+
+/// One grid cell.
+#[derive(Debug)]
+pub struct GridCell {
+    /// Replication factor of the run.
+    pub rf: u32,
+    /// Scheduler label (paper legend name).
+    pub scheduler: &'static str,
+    /// Full metrics of the run.
+    pub metrics: RunMetrics,
+}
+
+/// A computed grid plus its always-on reference run (at rf = 1).
+#[derive(Debug)]
+pub struct EvalGrid {
+    /// All cells, ordered by (rf, scheduler).
+    pub cells: Vec<GridCell>,
+    /// The always-on reference (for Figs. 12/13).
+    pub always_on: RunMetrics,
+}
+
+impl EvalGrid {
+    /// Runs the full scheduler × replication grid over `requests`.
+    pub fn compute(requests: &[Request], scale: Scale, zipf_z: f64, seed: u64) -> EvalGrid {
+        let spec_for = |scheduler: SchedulerKind, rf: u32| ExperimentSpec {
+            placement: PlacementConfig {
+                disks: scale.disks,
+                replication: rf,
+                zipf_z,
+            },
+            scheduler,
+            system: SystemConfig {
+                disks: scale.disks,
+                ..SystemConfig::default()
+            },
+            seed,
+        };
+        let mut cells = Vec::new();
+        for rf in RF_SWEEP {
+            for kind in SchedulerKind::paper_set() {
+                let label = kind.label();
+                let metrics = run_experiment(requests, &spec_for(kind, rf));
+                cells.push(GridCell {
+                    rf,
+                    scheduler: label,
+                    metrics,
+                });
+            }
+            // Extension column: the offline planner with assignment-level
+            // hill climbing (the "better MWIS algorithm" the paper
+            // conjectures about in §5.1).
+            let refined = run_experiment(
+                requests,
+                &spec_for(
+                    SchedulerKind::Mwis {
+                        solver: spindown_core::sched::MwisSolver::GwMinRefined { passes: 4 },
+                        max_successors: 3,
+                    },
+                    rf,
+                ),
+            );
+            cells.push(GridCell {
+                rf,
+                scheduler: "mwis-r",
+                metrics: refined,
+            });
+        }
+        let always_on = run_always_on_baseline(requests, &spec_for(SchedulerKind::Static, 1));
+        EvalGrid { cells, always_on }
+    }
+
+    /// Looks up one cell.
+    pub fn cell(&self, rf: u32, scheduler: &str) -> &GridCell {
+        self.cells
+            .iter()
+            .find(|c| c.rf == rf && c.scheduler == scheduler)
+            .unwrap_or_else(|| panic!("no grid cell for rf={rf} scheduler={scheduler}"))
+    }
+
+    /// Scheduler labels present, in paper-legend order.
+    pub fn schedulers(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.scheduler) {
+                out.push(c.scheduler);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload;
+
+    #[test]
+    fn tiny_grid_computes_and_indexes() {
+        let scale = Scale {
+            requests: 600,
+            data_items: 250,
+            disks: 12,
+            rate: 3.0,
+        };
+        let reqs = workload::cello(scale, 1);
+        let grid = EvalGrid::compute(&reqs, scale, 1.0, 3);
+        assert_eq!(grid.cells.len(), 5 * 6);
+        assert_eq!(
+            grid.schedulers(),
+            vec!["random", "static", "heuristic", "wsc", "mwis", "mwis-r"]
+        );
+        let c = grid.cell(3, "static");
+        assert_eq!(c.rf, 3);
+        assert!(c.metrics.energy_j > 0.0);
+        assert!((grid.always_on.normalized_energy() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "no grid cell")]
+    fn missing_cell_panics() {
+        let scale = Scale {
+            requests: 100,
+            data_items: 50,
+            disks: 8,
+            rate: 2.0,
+        };
+        let reqs = workload::cello(scale, 1);
+        let grid = EvalGrid::compute(&reqs, scale, 1.0, 3);
+        grid.cell(9, "static");
+    }
+}

@@ -1,0 +1,29 @@
+//! # spindown-bench
+//!
+//! The reproduction harness: regenerates every table and figure of the
+//! paper's evaluation section (Figs. 2–17) as plain-text reports, plus
+//! ablations the paper only gestures at. Criterion micro-benchmarks for
+//! the algorithmic substrates live under `benches/`.
+//!
+//! Run everything at the paper's scale (180 disks, 70 000 requests):
+//!
+//! ```text
+//! cargo run --release -p spindown-bench --bin figures -- all
+//! ```
+//!
+//! or one figure, at reduced scale:
+//!
+//! ```text
+//! cargo run --release -p spindown-bench --bin figures -- --quick fig6
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod grids;
+pub mod table;
+pub mod workload;
+
+pub use figures::Harness;
+pub use workload::Scale;

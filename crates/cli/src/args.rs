@@ -1,0 +1,406 @@
+//! Argument parsing for the `spindown-cli` binary (dependency-free).
+
+use std::fmt;
+use std::path::PathBuf;
+
+use spindown_core::cost::CostFunction;
+use spindown_core::sched::MwisSolver;
+use spindown_disk::queue::QueueDiscipline;
+
+/// Usage text printed for `--help` and on parse errors.
+pub const USAGE: &str = "\
+spindown-cli — energy-aware disk scheduling simulator
+
+USAGE:
+    spindown-cli <simulate|compare|stats> [options]
+
+SOURCE (choose one):
+    --trace <path>           SPC (.spc/.csv) or SRT (.srt/.txt) trace file
+    --synthetic <cello|financial>   generate a workload (default: cello)
+
+WORKLOAD (synthetic only):
+    --requests <n>           number of requests      [default: 8000]
+    --data-items <n>         distinct blocks         [default: 3500]
+    --rate <req/s>           aggregate arrival rate  [default: 15]
+
+SYSTEM:
+    --disks <n>              number of disks         [default: 60]
+    --replication <n>        copies per block (1-..) [default: 3]
+    --zipf <z>               placement skew 0..1     [default: 1.0]
+    --policy <always-on|2cpm|adaptive>               [default: 2cpm]
+    --discipline <fcfs|sstf|elevator>                [default: fcfs]
+
+SCHEDULER (simulate):
+    --scheduler <random|static|heuristic|wsc|mwis|mwis-r>  [default: heuristic]
+    --alpha <a>              Eq. 6 energy weight     [default: 0.2]
+    --beta <b>               Eq. 6 unit factor       [default: 100]
+    --interval-ms <ms>       WSC batch interval      [default: 100]
+
+MISC:
+    --seed <n>               master seed             [default: 42]
+    --help                   show this text";
+
+/// Which scheduler to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerArg {
+    /// Uniform over replicas.
+    Random,
+    /// Original location only.
+    Static,
+    /// Online Eq. 6 heuristic.
+    Heuristic,
+    /// Batch weighted set cover.
+    Wsc,
+    /// Offline MWIS (GMIN).
+    Mwis,
+    /// Offline MWIS + assignment refinement.
+    MwisRefined,
+}
+
+impl SchedulerArg {
+    /// All variants, for `compare`.
+    pub const ALL: [SchedulerArg; 6] = [
+        SchedulerArg::Random,
+        SchedulerArg::Static,
+        SchedulerArg::Heuristic,
+        SchedulerArg::Wsc,
+        SchedulerArg::Mwis,
+        SchedulerArg::MwisRefined,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedulerArg::Random => "random",
+            SchedulerArg::Static => "static",
+            SchedulerArg::Heuristic => "heuristic",
+            SchedulerArg::Wsc => "wsc",
+            SchedulerArg::Mwis => "mwis",
+            SchedulerArg::MwisRefined => "mwis-r",
+        }
+    }
+
+    /// Converts to the experiment layer's scheduler kind.
+    pub fn to_kind(
+        self,
+        cost: CostFunction,
+        interval_ms: u64,
+    ) -> spindown_core::experiment::SchedulerKind {
+        use spindown_core::experiment::SchedulerKind as K;
+        match self {
+            SchedulerArg::Random => K::Random,
+            SchedulerArg::Static => K::Static,
+            SchedulerArg::Heuristic => K::Heuristic(cost),
+            SchedulerArg::Wsc => K::Wsc {
+                cost,
+                interval: spindown_sim::time::SimDuration::from_millis(interval_ms),
+            },
+            SchedulerArg::Mwis => K::Mwis {
+                solver: MwisSolver::GwMin,
+                max_successors: 3,
+            },
+            SchedulerArg::MwisRefined => K::Mwis {
+                solver: MwisSolver::GwMinRefined { passes: 4 },
+                max_successors: 3,
+            },
+        }
+    }
+}
+
+/// Where the workload comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceArg {
+    /// Parse a trace file (format from extension).
+    TraceFile(PathBuf),
+    /// Cello-like synthetic workload.
+    SyntheticCello,
+    /// Financial1-like synthetic workload.
+    SyntheticFinancial,
+}
+
+/// Subcommand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Run one scheduler and report.
+    Simulate,
+    /// Run every scheduler and tabulate.
+    Compare,
+    /// Print trace statistics only.
+    Stats,
+}
+
+/// Fully parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Subcommand.
+    pub command: Command,
+    /// Workload source.
+    pub source: SourceArg,
+    /// Synthetic request count.
+    pub requests: usize,
+    /// Synthetic distinct blocks.
+    pub data_items: usize,
+    /// Synthetic aggregate rate, req/s.
+    pub rate: f64,
+    /// Disks in the system.
+    pub disks: u32,
+    /// Replication factor.
+    pub replication: u32,
+    /// Placement skew.
+    pub zipf: f64,
+    /// Power policy name.
+    pub policy: String,
+    /// Queue discipline.
+    pub discipline: QueueDiscipline,
+    /// Scheduler for `simulate`.
+    pub scheduler: SchedulerArg,
+    /// Eq. 6 α.
+    pub alpha: f64,
+    /// Eq. 6 β.
+    pub beta: f64,
+    /// WSC interval, ms.
+    pub interval_ms: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            command: Command::Simulate,
+            source: SourceArg::SyntheticCello,
+            requests: 8_000,
+            data_items: 3_500,
+            rate: 15.0,
+            disks: 60,
+            replication: 3,
+            zipf: 1.0,
+            policy: "2cpm".into(),
+            discipline: QueueDiscipline::Fcfs,
+            scheduler: SchedulerArg::Heuristic,
+            alpha: 0.2,
+            beta: 100.0,
+            interval_ms: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// `--help` was requested.
+    HelpRequested,
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag.
+    UnknownFlag(String),
+    /// A flag's value is missing or invalid.
+    BadValue(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::HelpRequested => write!(f, "help requested"),
+            ParseError::MissingCommand => write!(f, "missing subcommand"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown subcommand {c:?}"),
+            ParseError::UnknownFlag(x) => write!(f, "unknown flag {x:?}"),
+            ParseError::BadValue(x) => write!(f, "missing or invalid value for {x}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Cli {
+    /// Parses an argument list (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Cli, ParseError> {
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            return Err(ParseError::HelpRequested);
+        }
+        let mut cli = Cli::default();
+        let mut it = argv.iter();
+        cli.command = match it.next().map(String::as_str) {
+            Some("simulate") => Command::Simulate,
+            Some("compare") => Command::Compare,
+            Some("stats") => Command::Stats,
+            Some(other) => return Err(ParseError::UnknownCommand(other.into())),
+            None => return Err(ParseError::MissingCommand),
+        };
+
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| ParseError::BadValue(name.into()))
+            };
+            match flag.as_str() {
+                "--trace" => cli.source = SourceArg::TraceFile(PathBuf::from(value("--trace")?)),
+                "--synthetic" => {
+                    cli.source = match value("--synthetic")?.as_str() {
+                        "cello" => SourceArg::SyntheticCello,
+                        "financial" => SourceArg::SyntheticFinancial,
+                        _ => return Err(ParseError::BadValue("--synthetic".into())),
+                    }
+                }
+                "--requests" => cli.requests = parse_num(&value("--requests")?, "--requests")?,
+                "--data-items" => {
+                    cli.data_items = parse_num(&value("--data-items")?, "--data-items")?
+                }
+                "--rate" => cli.rate = parse_float(&value("--rate")?, "--rate")?,
+                "--disks" => cli.disks = parse_num(&value("--disks")?, "--disks")?,
+                "--replication" => {
+                    cli.replication = parse_num(&value("--replication")?, "--replication")?
+                }
+                "--zipf" => cli.zipf = parse_float(&value("--zipf")?, "--zipf")?,
+                "--policy" => {
+                    let v = value("--policy")?;
+                    if !matches!(v.as_str(), "always-on" | "2cpm" | "adaptive") {
+                        return Err(ParseError::BadValue("--policy".into()));
+                    }
+                    cli.policy = v;
+                }
+                "--discipline" => {
+                    cli.discipline = match value("--discipline")?.as_str() {
+                        "fcfs" => QueueDiscipline::Fcfs,
+                        "sstf" => QueueDiscipline::Sstf,
+                        "elevator" => QueueDiscipline::Elevator,
+                        _ => return Err(ParseError::BadValue("--discipline".into())),
+                    }
+                }
+                "--scheduler" => {
+                    cli.scheduler = match value("--scheduler")?.as_str() {
+                        "random" => SchedulerArg::Random,
+                        "static" => SchedulerArg::Static,
+                        "heuristic" => SchedulerArg::Heuristic,
+                        "wsc" => SchedulerArg::Wsc,
+                        "mwis" => SchedulerArg::Mwis,
+                        "mwis-r" => SchedulerArg::MwisRefined,
+                        _ => return Err(ParseError::BadValue("--scheduler".into())),
+                    }
+                }
+                "--alpha" => cli.alpha = parse_float(&value("--alpha")?, "--alpha")?,
+                "--beta" => cli.beta = parse_float(&value("--beta")?, "--beta")?,
+                "--interval-ms" => {
+                    cli.interval_ms = parse_num(&value("--interval-ms")?, "--interval-ms")?
+                }
+                "--seed" => cli.seed = parse_num(&value("--seed")?, "--seed")?,
+                other => return Err(ParseError::UnknownFlag(other.into())),
+            }
+        }
+        Ok(cli)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, ParseError> {
+    s.parse().map_err(|_| ParseError::BadValue(flag.into()))
+}
+
+fn parse_float(s: &str, flag: &str) -> Result<f64, ParseError> {
+    let v: f64 = s.parse().map_err(|_| ParseError::BadValue(flag.into()))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(ParseError::BadValue(flag.into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let cli = Cli::parse(&argv("simulate")).unwrap();
+        assert_eq!(cli.command, Command::Simulate);
+        assert_eq!(cli.scheduler, SchedulerArg::Heuristic);
+        assert_eq!(cli.disks, 60);
+    }
+
+    #[test]
+    fn parses_full_invocation() {
+        let cli = Cli::parse(&argv(
+            "simulate --synthetic financial --requests 1000 --data-items 400 \
+             --rate 7.5 --disks 24 --replication 4 --zipf 0.5 --policy adaptive \
+             --discipline sstf --scheduler wsc --alpha 0.3 --beta 10 \
+             --interval-ms 250 --seed 9",
+        ))
+        .unwrap();
+        assert_eq!(cli.source, SourceArg::SyntheticFinancial);
+        assert_eq!(cli.requests, 1000);
+        assert_eq!(cli.data_items, 400);
+        assert_eq!(cli.rate, 7.5);
+        assert_eq!(cli.disks, 24);
+        assert_eq!(cli.replication, 4);
+        assert_eq!(cli.zipf, 0.5);
+        assert_eq!(cli.policy, "adaptive");
+        assert_eq!(cli.discipline, QueueDiscipline::Sstf);
+        assert_eq!(cli.scheduler, SchedulerArg::Wsc);
+        assert_eq!(cli.alpha, 0.3);
+        assert_eq!(cli.interval_ms, 250);
+        assert_eq!(cli.seed, 9);
+    }
+
+    #[test]
+    fn trace_file_source() {
+        let cli = Cli::parse(&argv("stats --trace /tmp/foo.spc")).unwrap();
+        assert_eq!(cli.command, Command::Stats);
+        assert_eq!(
+            cli.source,
+            SourceArg::TraceFile(PathBuf::from("/tmp/foo.spc"))
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(Cli::parse(&argv("")), Err(ParseError::MissingCommand));
+        assert_eq!(
+            Cli::parse(&argv("explode")),
+            Err(ParseError::UnknownCommand("explode".into()))
+        );
+        assert_eq!(
+            Cli::parse(&argv("simulate --what")),
+            Err(ParseError::UnknownFlag("--what".into()))
+        );
+        assert_eq!(
+            Cli::parse(&argv("simulate --disks")),
+            Err(ParseError::BadValue("--disks".into()))
+        );
+        assert_eq!(
+            Cli::parse(&argv("simulate --disks banana")),
+            Err(ParseError::BadValue("--disks".into()))
+        );
+        assert_eq!(
+            Cli::parse(&argv("simulate --scheduler quantum")),
+            Err(ParseError::BadValue("--scheduler".into()))
+        );
+        assert_eq!(Cli::parse(&argv("--help")), Err(ParseError::HelpRequested));
+        assert_eq!(
+            Cli::parse(&argv("simulate --zipf inf")),
+            Err(ParseError::BadValue("--zipf".into()))
+        );
+    }
+
+    #[test]
+    fn scheduler_kinds_map() {
+        let cost = CostFunction::default();
+        for s in SchedulerArg::ALL {
+            let k = s.to_kind(cost, 100);
+            assert_eq!(
+                k.label(),
+                if s == SchedulerArg::MwisRefined {
+                    "mwis"
+                } else {
+                    s.label()
+                }
+            );
+        }
+    }
+}

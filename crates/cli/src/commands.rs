@@ -1,0 +1,322 @@
+//! Command execution: load/generate the workload, run, render the report.
+
+use std::fmt::Write as _;
+
+use spindown_core::cost::CostFunction;
+use spindown_core::experiment::{
+    requests_from_trace, run_always_on_baseline, run_experiment, ExperimentSpec,
+};
+use spindown_core::metrics::RunMetrics;
+use spindown_core::model::Request;
+use spindown_core::placement::PlacementConfig;
+use spindown_core::system::{PolicyKind, SystemConfig};
+use spindown_trace::record::Trace;
+use spindown_trace::stats::TraceStats;
+use spindown_trace::synth::arrivals::OnOffProcess;
+use spindown_trace::synth::{CelloLike, FinancialLike, TraceGenerator};
+use spindown_trace::{spc, srt};
+
+use crate::args::{Cli, Command, SchedulerArg, SourceArg};
+
+/// Command failures (I/O, parsing).
+#[derive(Debug)]
+pub enum CommandError {
+    /// The trace file could not be read.
+    Io(std::path::PathBuf, std::io::Error),
+    /// The trace file could not be parsed.
+    Parse(String),
+    /// The file extension is not recognized.
+    UnknownFormat(std::path::PathBuf),
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::Io(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+            CommandError::Parse(e) => write!(f, "cannot parse trace: {e}"),
+            CommandError::UnknownFormat(p) => write!(
+                f,
+                "unrecognized trace extension on {} (expected .spc/.csv or .srt/.txt)",
+                p.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+/// Runs the parsed invocation and returns the textual report.
+pub fn execute(cli: &Cli) -> Result<String, CommandError> {
+    let trace = load_trace(cli)?;
+    match cli.command {
+        Command::Stats => Ok(stats_report(&trace)),
+        Command::Simulate => {
+            let requests = requests_from_trace(&trace);
+            let m = run_experiment(&requests, &spec(cli, cli.scheduler));
+            Ok(simulate_report(cli, &requests, &m))
+        }
+        Command::Compare => {
+            let requests = requests_from_trace(&trace);
+            Ok(compare_report(cli, &requests))
+        }
+    }
+}
+
+fn load_trace(cli: &Cli) -> Result<Trace, CommandError> {
+    match &cli.source {
+        SourceArg::TraceFile(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| CommandError::Io(path.clone(), e))?;
+            let ext = path
+                .extension()
+                .and_then(|e| e.to_str())
+                .unwrap_or("")
+                .to_ascii_lowercase();
+            match ext.as_str() {
+                "spc" | "csv" => spc::parse(&text).map_err(|e| CommandError::Parse(e.to_string())),
+                "srt" | "txt" => srt::parse(&text).map_err(|e| CommandError::Parse(e.to_string())),
+                _ => Err(CommandError::UnknownFormat(path.clone())),
+            }
+        }
+        SourceArg::SyntheticCello => {
+            let sources = 24;
+            let on_frac = {
+                let e_on = 1.5 * 2.0 / 0.5;
+                let e_off = 1.3 * 30.0 / 0.3;
+                e_on / (e_on + e_off)
+            };
+            Ok(CelloLike {
+                requests: cli.requests,
+                data_items: cli.data_items,
+                arrivals: OnOffProcess {
+                    sources,
+                    on_shape: 1.5,
+                    on_scale_s: 2.0,
+                    off_shape: 1.3,
+                    off_scale_s: 30.0,
+                    burst_rate: cli.rate / (sources as f64 * on_frac),
+                },
+                ..CelloLike::default()
+            }
+            .generate(cli.seed))
+        }
+        SourceArg::SyntheticFinancial => Ok(FinancialLike {
+            requests: cli.requests,
+            data_items: cli.data_items,
+            rate: cli.rate,
+            ..FinancialLike::default()
+        }
+        .generate(cli.seed)),
+    }
+}
+
+fn spec(cli: &Cli, scheduler: SchedulerArg) -> ExperimentSpec {
+    let cost = CostFunction {
+        alpha: cli.alpha,
+        beta: cli.beta,
+    };
+    ExperimentSpec {
+        placement: PlacementConfig {
+            disks: cli.disks,
+            replication: cli.replication,
+            zipf_z: cli.zipf,
+        },
+        scheduler: scheduler.to_kind(cost, cli.interval_ms),
+        system: SystemConfig {
+            disks: cli.disks,
+            policy: match cli.policy.as_str() {
+                "always-on" => PolicyKind::AlwaysOn,
+                "adaptive" => PolicyKind::Adaptive,
+                _ => PolicyKind::Breakeven,
+            },
+            discipline: cli.discipline,
+            ..SystemConfig::default()
+        },
+        seed: cli.seed,
+    }
+}
+
+fn stats_report(trace: &Trace) -> String {
+    format!(
+        "trace statistics\n================\n{}",
+        TraceStats::compute(trace)
+    )
+}
+
+fn simulate_report(cli: &Cli, requests: &[Request], m: &RunMetrics) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "spindown simulation report");
+    let _ = writeln!(s, "==========================");
+    let _ = writeln!(
+        s,
+        "workload : {} reads over {:.0} s",
+        requests.len(),
+        requests.last().map(|r| r.at.as_secs_f64()).unwrap_or(0.0)
+    );
+    let _ = writeln!(
+        s,
+        "system   : {} disks, replication {}, zipf {}, policy {}, {} queue",
+        cli.disks,
+        cli.replication,
+        cli.zipf,
+        cli.policy,
+        match cli.discipline {
+            spindown_disk::queue::QueueDiscipline::Fcfs => "fcfs",
+            spindown_disk::queue::QueueDiscipline::Sstf => "sstf",
+            spindown_disk::queue::QueueDiscipline::Elevator => "elevator",
+        }
+    );
+    let _ = writeln!(s, "scheduler: {}", cli.scheduler.label());
+    let _ = writeln!(s);
+    let _ = writeln!(s, "energy          : {:.1} kJ", m.energy_j / 1000.0);
+    let _ = writeln!(s, "vs always-on    : {:.1}%", m.normalized_energy() * 100.0);
+    let _ = writeln!(s, "spin-up/downs   : {}", m.spin_cycles());
+    let _ = writeln!(
+        s,
+        "response mean   : {:.1} ms",
+        m.response_mean_s() * 1000.0
+    );
+    let _ = writeln!(s, "response p90    : {:.1} ms", m.response_p90_s() * 1000.0);
+    let _ = writeln!(s, "response max    : {:.1} s", m.response.max());
+    let _ = write!(
+        s,
+        "standby share   : {:.1}% (mean across disks)",
+        m.mean_standby_fraction() * 100.0
+    );
+    s
+}
+
+fn compare_report(cli: &Cli, requests: &[Request]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "scheduler", "vs always-on", "spin cycles", "resp mean", "resp p90"
+    );
+    let baseline = run_always_on_baseline(requests, &spec(cli, SchedulerArg::Static));
+    let _ = writeln!(
+        s,
+        "{:<10} {:>11.1}% {:>12} {:>9.0} ms {:>9.0} ms",
+        "always-on",
+        baseline.normalized_energy() * 100.0,
+        baseline.spin_cycles(),
+        baseline.response_mean_s() * 1000.0,
+        baseline.response_p90_s() * 1000.0
+    );
+    for sched in SchedulerArg::ALL {
+        let m = run_experiment(requests, &spec(cli, sched));
+        let _ = writeln!(
+            s,
+            "{:<10} {:>11.1}% {:>12} {:>9.0} ms {:>9.0} ms",
+            sched.label(),
+            m.normalized_energy() * 100.0,
+            m.spin_cycles(),
+            m.response_mean_s() * 1000.0,
+            m.response_p90_s() * 1000.0
+        );
+    }
+    let _ = write!(
+        s,
+        "(mwis/mwis-r run under the offline model: no spin-up or queueing delay)"
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Cli;
+
+    fn small_cli(extra: &str) -> Cli {
+        let argv: Vec<String> =
+            format!("simulate --requests 600 --data-items 250 --disks 12 --rate 4 {extra}")
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        Cli::parse(&argv).unwrap()
+    }
+
+    #[test]
+    fn simulate_synthetic_cello() {
+        let report = execute(&small_cli("")).unwrap();
+        assert!(report.contains("spindown simulation report"));
+        assert!(report.contains("vs always-on"));
+        assert!(report.contains("scheduler: heuristic"));
+    }
+
+    #[test]
+    fn simulate_each_scheduler() {
+        for sched in ["random", "static", "heuristic", "wsc", "mwis", "mwis-r"] {
+            let report = execute(&small_cli(&format!("--scheduler {sched}"))).unwrap();
+            assert!(report.contains(&format!("scheduler: {sched}")), "{sched}");
+        }
+    }
+
+    #[test]
+    fn stats_command() {
+        let mut cli = small_cli("");
+        cli.command = Command::Stats;
+        let report = execute(&cli).unwrap();
+        assert!(report.contains("requests"));
+        assert!(report.contains("Zipf"));
+    }
+
+    #[test]
+    fn compare_command() {
+        let mut cli = small_cli("");
+        cli.command = Command::Compare;
+        let report = execute(&cli).unwrap();
+        for label in [
+            "always-on",
+            "random",
+            "static",
+            "heuristic",
+            "wsc",
+            "mwis-r",
+        ] {
+            assert!(report.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn trace_file_roundtrip() {
+        let dir = std::env::temp_dir().join("spindown-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.spc");
+        std::fs::write(&path, "0,1024,4096,r,0.5\n0,2048,4096,r,30.0\n").unwrap();
+        let mut cli = small_cli("--disks 4 --replication 2");
+        cli.source = SourceArg::TraceFile(path.clone());
+        let report = execute(&cli).unwrap();
+        assert!(report.contains("workload : 2 reads"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn unknown_extension_is_reported() {
+        let mut cli = small_cli("");
+        cli.source = SourceArg::TraceFile(std::path::PathBuf::from("/tmp/x.weird"));
+        // File doesn't exist — Io error comes first; create it.
+        let dir = std::env::temp_dir().join("spindown-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.weird");
+        std::fs::write(&path, "junk").unwrap();
+        cli.source = SourceArg::TraceFile(path.clone());
+        let err = execute(&cli).unwrap_err();
+        assert!(matches!(err, CommandError::UnknownFormat(_)));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let mut cli = small_cli("");
+        cli.source = SourceArg::TraceFile(std::path::PathBuf::from("/definitely/not/here.spc"));
+        let err = execute(&cli).unwrap_err();
+        assert!(matches!(err, CommandError::Io(_, _)));
+    }
+
+    #[test]
+    fn sstf_discipline_runs() {
+        let report = execute(&small_cli("--discipline sstf")).unwrap();
+        assert!(report.contains("sstf queue"));
+    }
+}

@@ -1,0 +1,7 @@
+//! `spindown-cli` binary entry point.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = spindown_cli::run(&argv, &mut std::io::stdout());
+    std::process::exit(code);
+}

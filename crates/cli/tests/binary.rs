@@ -1,0 +1,102 @@
+//! End-to-end tests of the actual `spindown-cli` binary (spawned as a
+//! subprocess via the path Cargo exports for integration tests).
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spindown-cli"))
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = bin().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--scheduler"));
+}
+
+#[test]
+fn missing_command_exits_nonzero_with_usage() {
+    let out = bin().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("missing subcommand"));
+    assert!(text.contains("USAGE"));
+}
+
+#[test]
+fn simulate_small_synthetic_workload() {
+    let out = bin()
+        .args([
+            "simulate",
+            "--requests",
+            "400",
+            "--data-items",
+            "150",
+            "--disks",
+            "8",
+            "--rate",
+            "4",
+            "--scheduler",
+            "wsc",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("scheduler: wsc"));
+    assert!(text.contains("vs always-on"));
+}
+
+#[test]
+fn stats_on_a_trace_file() {
+    let dir = std::env::temp_dir().join("spindown-cli-bin-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.srt");
+    std::fs::write(&path, "0.5 1 100 4096 R\n2.5 1 200 4096 W\n").unwrap();
+    let out = bin()
+        .args(["stats", "--trace", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("requests            : 2"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bad_trace_file_exits_one() {
+    let out = bin()
+        .args(["stats", "--trace", "/nope/missing.spc"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error: cannot read"));
+}
+
+#[test]
+fn determinism_across_invocations() {
+    let run = || {
+        let out = bin()
+            .args([
+                "simulate",
+                "--requests",
+                "300",
+                "--data-items",
+                "100",
+                "--disks",
+                "6",
+                "--rate",
+                "3",
+                "--seed",
+                "77",
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,240 @@
+//! The scheduler's cost model: Eq. 5 (marginal energy of using a disk),
+//! Eq. 7 (load as the performance proxy), and Eq. 6 (their composition).
+
+use spindown_disk::power::PowerParams;
+use spindown_disk::state::DiskPowerState;
+use spindown_sim::time::SimTime;
+
+/// What the cost functions need to know about one disk at decision time.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskStatus {
+    /// The disk's power state.
+    pub state: DiskPowerState,
+    /// When the disk last received a request (`T_last` in Eq. 5);
+    /// `None` if it never has.
+    pub last_request_at: Option<SimTime>,
+    /// Requests currently on the disk (queued + in service) — `P(d_k)`.
+    pub load: usize,
+}
+
+/// Eq. 5 — the marginal energy cost `E(d_k)` of scheduling onto `d_k` now:
+///
+/// * **active / spin-up** → `0`: the request neither wakes the disk nor
+///   extends its idle time;
+/// * **standby / spin-down** → `E_up + E_down + TB·P_I`: the disk must be
+///   woken and will later pay a full breakeven + spin-down;
+/// * **idle** → `(T_now − T_last)·P_I`: the idle clock restarts, so the
+///   idle time already accumulated since the previous request is extended.
+pub fn energy_cost_j(status: &DiskStatus, now: SimTime, params: &PowerParams) -> f64 {
+    match status.state {
+        DiskPowerState::Active | DiskPowerState::SpinningUp => 0.0,
+        DiskPowerState::Standby | DiskPowerState::SpinningDown => {
+            params.transition_j() + params.breakeven_secs() * params.idle_w
+        }
+        DiskPowerState::Idle => {
+            let since = match status.last_request_at {
+                Some(t) => now.saturating_since(t).as_secs_f64(),
+                // An idle disk that never serviced anything: its idle clock
+                // has run since the start of the run.
+                None => now.as_secs_f64(),
+            };
+            since * params.idle_w
+        }
+    }
+}
+
+/// Eq. 7 — the performance cost `P(d_k)`: the number of requests already
+/// on the disk.
+pub fn performance_cost(status: &DiskStatus) -> f64 {
+    status.load as f64
+}
+
+/// The Eq. 6 composite cost `C(d_k) = E(d_k)·α/β + P(d_k)·(1−α)`.
+///
+/// * `alpha` trades energy (1.0) against response time (0.0);
+/// * `beta` converts joules into the unit of the load cost.
+///
+/// The paper settles on `α = 0.2`, `β = 100` (§4.3, App. A.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostFunction {
+    /// Energy/performance trade-off knob `α ∈ [0, 1]`.
+    pub alpha: f64,
+    /// Unit-conversion factor `β > 0`.
+    pub beta: f64,
+}
+
+impl Default for CostFunction {
+    /// The paper's chosen operating point: `α = 0.2`, `β = 100`.
+    fn default() -> Self {
+        CostFunction {
+            alpha: 0.2,
+            beta: 100.0,
+        }
+    }
+}
+
+impl CostFunction {
+    /// A cost function that only considers energy (`α = 1`).
+    pub fn energy_only() -> Self {
+        CostFunction {
+            alpha: 1.0,
+            beta: 1.0,
+        }
+    }
+
+    /// A cost function that only considers response time (`α = 0`).
+    pub fn performance_only() -> Self {
+        CostFunction {
+            alpha: 0.0,
+            beta: 1.0,
+        }
+    }
+
+    /// Validates `α ∈ [0,1]`, `β > 0`.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.alpha) || !self.alpha.is_finite() {
+            return Err(format!("alpha {} outside [0, 1]", self.alpha));
+        }
+        if self.beta <= 0.0 || !self.beta.is_finite() {
+            return Err(format!("beta {} must be positive", self.beta));
+        }
+        Ok(())
+    }
+
+    /// Eq. 6: the composite cost of dispatching to a disk with `status`.
+    pub fn cost(&self, status: &DiskStatus, now: SimTime, params: &PowerParams) -> f64 {
+        energy_cost_j(status, now, params) * self.alpha / self.beta
+            + performance_cost(status) * (1.0 - self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(state: DiskPowerState, last_s: Option<u64>, load: usize) -> DiskStatus {
+        DiskStatus {
+            state,
+            last_request_at: last_s.map(SimTime::from_secs),
+            load,
+        }
+    }
+
+    #[test]
+    fn eq5_active_and_spinup_are_free() {
+        let p = PowerParams::barracuda();
+        let now = SimTime::from_secs(100);
+        for s in [DiskPowerState::Active, DiskPowerState::SpinningUp] {
+            assert_eq!(energy_cost_j(&status(s, Some(1), 5), now, &p), 0.0);
+        }
+    }
+
+    #[test]
+    fn eq5_standby_costs_full_cycle() {
+        let p = PowerParams::barracuda();
+        let now = SimTime::from_secs(100);
+        let expect = p.transition_j() + p.breakeven_secs() * p.idle_w;
+        for s in [DiskPowerState::Standby, DiskPowerState::SpinningDown] {
+            assert!((energy_cost_j(&status(s, None, 0), now, &p) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eq5_idle_costs_elapsed_idle_time() {
+        let p = PowerParams::barracuda();
+        let now = SimTime::from_secs(100);
+        let e = energy_cost_j(&status(DiskPowerState::Idle, Some(95), 0), now, &p);
+        assert!((e - 5.0 * p.idle_w).abs() < 1e-9);
+        // Never-used idle disk: clock since run start.
+        let e = energy_cost_j(&status(DiskPowerState::Idle, None, 0), now, &p);
+        assert!((e - 100.0 * p.idle_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_preference_spinup_over_idle() {
+        // §3.3: "a scheduler actually prefers a disk which is in the
+        // process of being spun-up rather than a disk in idle mode".
+        let p = PowerParams::barracuda();
+        let now = SimTime::from_secs(50);
+        let spinning_up = energy_cost_j(&status(DiskPowerState::SpinningUp, Some(49), 1), now, &p);
+        let idle = energy_cost_j(&status(DiskPowerState::Idle, Some(40), 0), now, &p);
+        assert!(spinning_up < idle);
+    }
+
+    #[test]
+    fn eq7_counts_load() {
+        assert_eq!(
+            performance_cost(&status(DiskPowerState::Idle, None, 7)),
+            7.0
+        );
+    }
+
+    #[test]
+    fn eq6_alpha_extremes() {
+        let p = PowerParams::barracuda();
+        let now = SimTime::from_secs(100);
+        // Busy active disk vs empty standby disk.
+        let busy_active = status(DiskPowerState::Active, Some(99), 10);
+        let empty_standby = status(DiskPowerState::Standby, None, 0);
+        // α=1: energy only — active wins.
+        let e = CostFunction::energy_only();
+        assert!(e.cost(&busy_active, now, &p) < e.cost(&empty_standby, now, &p));
+        // α=0: performance only — standby wins.
+        let perf = CostFunction::performance_only();
+        assert!(perf.cost(&empty_standby, now, &p) < perf.cost(&busy_active, now, &p));
+    }
+
+    #[test]
+    fn eq6_beta_scales_energy_term() {
+        let p = PowerParams::barracuda();
+        let now = SimTime::from_secs(100);
+        let s = status(DiskPowerState::Standby, None, 0);
+        let small_beta = CostFunction {
+            alpha: 0.5,
+            beta: 1.0,
+        }
+        .cost(&s, now, &p);
+        let big_beta = CostFunction {
+            alpha: 0.5,
+            beta: 1000.0,
+        }
+        .cost(&s, now, &p);
+        assert!(small_beta > big_beta);
+    }
+
+    #[test]
+    fn default_matches_paper() {
+        let c = CostFunction::default();
+        assert_eq!(c.alpha, 0.2);
+        assert_eq!(c.beta, 100.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_params() {
+        assert!(CostFunction {
+            alpha: -0.1,
+            beta: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CostFunction {
+            alpha: 1.1,
+            beta: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CostFunction {
+            alpha: 0.5,
+            beta: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(CostFunction {
+            alpha: 0.5,
+            beta: f64::NAN
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Run metrics: everything the paper's evaluation section plots.
+
+use spindown_disk::state::DiskPowerState;
+use spindown_sim::stats::LatencyHistogram;
+
+/// Per-disk summary (one bar of the paper's Fig. 9/17).
+#[derive(Debug, Clone)]
+pub struct DiskSummary {
+    /// Total energy consumed by the disk, joules.
+    pub energy_j: f64,
+    /// Fraction of the horizon spent in each power state, indexed by
+    /// [`DiskPowerState::index`].
+    pub state_fractions: [f64; DiskPowerState::COUNT],
+    /// Spin-up transitions.
+    pub spinups: u64,
+    /// Spin-down transitions.
+    pub spindowns: u64,
+    /// Requests serviced.
+    pub requests: u64,
+}
+
+impl DiskSummary {
+    /// Fraction of time in standby — the sort key of Fig. 9.
+    pub fn standby_fraction(&self) -> f64 {
+        self.state_fractions[DiskPowerState::Standby.index()]
+    }
+}
+
+/// Complete results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Requests completed.
+    pub requests: usize,
+    /// Measurement horizon, seconds.
+    pub horizon_s: f64,
+    /// Total energy across all disks, joules.
+    pub energy_j: f64,
+    /// Energy an always-on configuration would consume over the same
+    /// horizon (all disks idle throughout), joules — the Fig. 6/14
+    /// normalization baseline.
+    pub always_on_j: f64,
+    /// Total spin-up transitions (all disks).
+    pub spinups: u64,
+    /// Total spin-down transitions (all disks).
+    pub spindowns: u64,
+    /// Response-time distribution (arrival → completion).
+    pub response: LatencyHistogram,
+    /// Per-disk summaries, indexed by disk id.
+    pub per_disk: Vec<DiskSummary>,
+    /// Optional sampled total-power timeline `(t_seconds, watts)` —
+    /// populated when the system config enables sampling.
+    pub power_timeline: Vec<(f64, f64)>,
+}
+
+impl RunMetrics {
+    /// Energy normalized to the always-on configuration (Fig. 6).
+    pub fn normalized_energy(&self) -> f64 {
+        if self.always_on_j <= 0.0 {
+            0.0
+        } else {
+            self.energy_j / self.always_on_j
+        }
+    }
+
+    /// Combined spin transitions — the Fig. 7/15 metric.
+    pub fn spin_cycles(&self) -> u64 {
+        self.spinups + self.spindowns
+    }
+
+    /// Mean response time, seconds (Fig. 8/16).
+    pub fn response_mean_s(&self) -> f64 {
+        self.response.mean()
+    }
+
+    /// 90th-percentile response time, seconds (Fig. 13).
+    pub fn response_p90_s(&self) -> f64 {
+        self.response.quantile(0.90)
+    }
+
+    /// Per-disk state fractions sorted by ascending standby time — the
+    /// x-axis ordering of Fig. 9/17.
+    pub fn fractions_sorted_by_standby(&self) -> Vec<[f64; DiskPowerState::COUNT]> {
+        let mut rows: Vec<[f64; DiskPowerState::COUNT]> =
+            self.per_disk.iter().map(|d| d.state_fractions).collect();
+        rows.sort_by(|a, b| {
+            a[DiskPowerState::Standby.index()]
+                .partial_cmp(&b[DiskPowerState::Standby.index()])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows
+    }
+
+    /// Mean standby fraction across disks.
+    pub fn mean_standby_fraction(&self) -> f64 {
+        if self.per_disk.is_empty() {
+            return 0.0;
+        }
+        self.per_disk
+            .iter()
+            .map(DiskSummary::standby_fraction)
+            .sum::<f64>()
+            / self.per_disk.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(standby: f64, energy: f64) -> DiskSummary {
+        let mut fractions = [0.0; DiskPowerState::COUNT];
+        fractions[DiskPowerState::Standby.index()] = standby;
+        fractions[DiskPowerState::Idle.index()] = 1.0 - standby;
+        DiskSummary {
+            energy_j: energy,
+            state_fractions: fractions,
+            spinups: 1,
+            spindowns: 1,
+            requests: 10,
+        }
+    }
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            scheduler: "test".into(),
+            requests: 30,
+            horizon_s: 100.0,
+            energy_j: 500.0,
+            always_on_j: 1000.0,
+            spinups: 3,
+            spindowns: 2,
+            response: LatencyHistogram::default(),
+            per_disk: vec![
+                summary(0.9, 100.0),
+                summary(0.1, 300.0),
+                summary(0.5, 100.0),
+            ],
+            power_timeline: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn normalized_energy() {
+        let m = metrics();
+        assert!((m.normalized_energy() - 0.5).abs() < 1e-12);
+        let mut z = metrics();
+        z.always_on_j = 0.0;
+        assert_eq!(z.normalized_energy(), 0.0);
+    }
+
+    #[test]
+    fn spin_cycles_sum() {
+        assert_eq!(metrics().spin_cycles(), 5);
+    }
+
+    #[test]
+    fn standby_sort_ascending() {
+        let rows = metrics().fractions_sorted_by_standby();
+        let sb = DiskPowerState::Standby.index();
+        assert!((rows[0][sb] - 0.1).abs() < 1e-12);
+        assert!((rows[2][sb] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_standby() {
+        let m = metrics();
+        assert!((m.mean_standby_fraction() - 0.5).abs() < 1e-12);
+        let empty = RunMetrics {
+            per_disk: vec![],
+            ..metrics()
+        };
+        assert_eq!(empty.mean_standby_fraction(), 0.0);
+    }
+
+    #[test]
+    fn response_accessors() {
+        let mut m = metrics();
+        m.response.record_secs(0.01);
+        m.response.record_secs(0.01);
+        m.response.record_secs(10.0);
+        assert!(m.response_mean_s() > 3.0);
+        assert!(m.response_p90_s() >= 9.0);
+    }
+}

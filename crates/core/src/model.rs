@@ -1,0 +1,93 @@
+//! Core identifiers and the request model (the paper's Table 1 variables).
+
+use spindown_sim::time::SimTime;
+pub use spindown_trace::record::DataId;
+
+/// Identifier of a disk in the storage system (`d_k` in the paper; dense,
+/// `0..K`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DiskId(pub u32);
+
+impl DiskId {
+    /// The disk's index into per-disk arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DiskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A read request as the scheduler sees it (`r_i` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Position in the request stream (requests are sorted by time, so
+    /// this is also the paper's subscript `i`).
+    pub index: u32,
+    /// Disk access time `t_i` — the time the storage system receives the
+    /// request.
+    pub at: SimTime,
+    /// The data item requested.
+    pub data: DataId,
+    /// Transfer size, bytes.
+    pub size: u64,
+}
+
+/// A complete scheduling assignment: `assignment[i]` is the disk request
+/// `i` was dispatched to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Assignment {
+    /// Chosen disk per request index.
+    pub disks: Vec<DiskId>,
+}
+
+impl Assignment {
+    /// Creates an assignment for `n` requests, all pointing at a
+    /// placeholder disk 0 (callers overwrite every slot).
+    pub fn with_len(n: usize) -> Self {
+        Assignment {
+            disks: vec![DiskId(0); n],
+        }
+    }
+
+    /// Number of assigned requests.
+    pub fn len(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// `true` if no requests are assigned.
+    pub fn is_empty(&self) -> bool {
+        self.disks.is_empty()
+    }
+
+    /// The disk chosen for request `i`.
+    pub fn disk_of(&self, i: usize) -> DiskId {
+        self.disks[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_id_display_and_index() {
+        assert_eq!(DiskId(7).to_string(), "d7");
+        assert_eq!(DiskId(7).index(), 7);
+        assert!(DiskId(1) < DiskId(2));
+    }
+
+    #[test]
+    fn assignment_basics() {
+        let mut a = Assignment::with_len(3);
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        a.disks[1] = DiskId(9);
+        assert_eq!(a.disk_of(1), DiskId(9));
+        assert_eq!(a.disk_of(0), DiskId(0));
+    }
+}

@@ -1,0 +1,217 @@
+//! Write off-loading (Narayanan et al. \[17\], assumed by the paper §2.1).
+//!
+//! The scheduler only handles **reads**; the paper assumes "write requests
+//! can be assigned to one or more idle disks in the system using techniques
+//! such as write off-loading, so that they do not need to be handled by the
+//! scheduler". This module supplies that mechanism so traces containing
+//! writes still run end to end:
+//!
+//! * [`split_trace`] separates a mixed trace into the scheduler's read
+//!   stream and the off-loader's write stream;
+//! * [`WriteOffloader`] assigns each write to a currently-spinning disk
+//!   (any disk may absorb off-loaded writes — that is the whole point of
+//!   the technique), falling back to the write's home location when
+//!   nothing is spinning.
+//!
+//! Off-loaded writes are reconciled with their home location lazily in the
+//! real system; energy-wise what matters here is that a write never wakes
+//! a sleeping disk.
+
+use spindown_trace::record::{OpKind, Trace};
+
+use crate::cost::DiskStatus;
+use crate::model::{DataId, DiskId};
+use crate::sched::LocationProvider;
+
+/// Splits a mixed trace into (reads, writes), preserving order within
+/// each stream.
+pub fn split_trace(trace: &Trace) -> (Trace, Trace) {
+    let reads = trace.reads_only();
+    let writes = Trace::from_records(
+        trace
+            .records()
+            .iter()
+            .copied()
+            .filter(|r| r.op == OpKind::Write)
+            .collect(),
+    );
+    (reads, writes)
+}
+
+/// Chooses destinations for off-loaded writes.
+///
+/// Stateless: each decision looks at the system's current disk statuses.
+/// Round-robin among the spinning disks spreads the (sequential,
+/// log-structured) write load without waking anything.
+#[derive(Debug, Clone, Default)]
+pub struct WriteOffloader {
+    cursor: usize,
+}
+
+impl WriteOffloader {
+    /// Creates an off-loader.
+    pub fn new() -> Self {
+        WriteOffloader::default()
+    }
+
+    /// Picks the disk to absorb a write of `data`.
+    ///
+    /// Preference order:
+    /// 1. a spinning (active/idle/spinning-up) *home* location of the
+    ///    data — no reconciliation needed;
+    /// 2. any spinning disk, round-robin — the off-load case;
+    /// 3. the original home location — nothing is spinning, someone must
+    ///    wake up.
+    pub fn place(
+        &mut self,
+        data: DataId,
+        placement: &dyn LocationProvider,
+        statuses: &[DiskStatus],
+    ) -> WritePlacement {
+        let spinning = |d: DiskId| {
+            let s = &statuses[d.index()];
+            s.state.is_ready() || s.state == spindown_disk::state::DiskPowerState::SpinningUp
+        };
+        // 1. Spinning home location.
+        if let Some(&d) = placement.locations(data).iter().find(|&&d| spinning(d)) {
+            return WritePlacement {
+                disk: d,
+                offloaded: false,
+            };
+        }
+        // 2. Any spinning disk, round-robin from the cursor.
+        let n = statuses.len();
+        for k in 0..n {
+            let idx = (self.cursor + k) % n;
+            if spinning(DiskId(idx as u32)) {
+                self.cursor = (idx + 1) % n;
+                return WritePlacement {
+                    disk: DiskId(idx as u32),
+                    offloaded: true,
+                };
+            }
+        }
+        // 3. Wake the home disk.
+        WritePlacement {
+            disk: placement.locations(data)[0],
+            offloaded: false,
+        }
+    }
+}
+
+/// Where a write went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WritePlacement {
+    /// Destination disk.
+    pub disk: DiskId,
+    /// `true` if the write landed away from its home locations (will need
+    /// background reconciliation).
+    pub offloaded: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::ExplicitPlacement;
+    use spindown_disk::state::DiskPowerState;
+    use spindown_sim::time::SimTime;
+    use spindown_trace::record::TraceRecord;
+
+    fn status(state: DiskPowerState) -> DiskStatus {
+        DiskStatus {
+            state,
+            last_request_at: None,
+            load: 0,
+        }
+    }
+
+    fn placement() -> ExplicitPlacement {
+        ExplicitPlacement::new(vec![vec![DiskId(0), DiskId(1)], vec![DiskId(2)]], 4)
+    }
+
+    #[test]
+    fn split_preserves_both_streams() {
+        let records: Vec<TraceRecord> = (0..10)
+            .map(|i| TraceRecord {
+                at: SimTime::from_secs(i),
+                data: DataId(i),
+                size: 4096,
+                op: if i % 3 == 0 {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                },
+            })
+            .collect();
+        let trace = Trace::from_records(records);
+        let (reads, writes) = split_trace(&trace);
+        assert_eq!(reads.len(), 6);
+        assert_eq!(writes.len(), 4);
+        assert!(reads.records().iter().all(|r| r.op == OpKind::Read));
+        assert!(writes.records().iter().all(|r| r.op == OpKind::Write));
+    }
+
+    #[test]
+    fn prefers_spinning_home_location() {
+        let mut off = WriteOffloader::new();
+        let statuses = vec![
+            status(DiskPowerState::Standby),
+            status(DiskPowerState::Idle), // home replica, spinning
+            status(DiskPowerState::Idle),
+            status(DiskPowerState::Idle),
+        ];
+        let p = off.place(DataId(0), &placement(), &statuses);
+        assert_eq!(p.disk, DiskId(1));
+        assert!(!p.offloaded);
+    }
+
+    #[test]
+    fn offloads_to_spinning_foreign_disk() {
+        let mut off = WriteOffloader::new();
+        // Home of data 1 is disk 2 (standby); disk 3 is spinning.
+        let statuses = vec![
+            status(DiskPowerState::Standby),
+            status(DiskPowerState::Standby),
+            status(DiskPowerState::Standby),
+            status(DiskPowerState::Active),
+        ];
+        let p = off.place(DataId(1), &placement(), &statuses);
+        assert_eq!(p.disk, DiskId(3));
+        assert!(p.offloaded, "landed away from home");
+    }
+
+    #[test]
+    fn round_robin_spreads_offloaded_writes() {
+        let mut off = WriteOffloader::new();
+        let statuses = vec![
+            status(DiskPowerState::Idle),
+            status(DiskPowerState::Standby),
+            status(DiskPowerState::Standby),
+            status(DiskPowerState::Idle),
+        ];
+        // Data 1's home (disk 2) is asleep; spinning disks are 0 and 3.
+        let a = off.place(DataId(1), &placement(), &statuses);
+        let b = off.place(DataId(1), &placement(), &statuses);
+        assert_ne!(a.disk, b.disk, "round robin must alternate");
+        assert!(a.offloaded && b.offloaded);
+    }
+
+    #[test]
+    fn wakes_home_disk_when_nothing_spins() {
+        let mut off = WriteOffloader::new();
+        let statuses = vec![status(DiskPowerState::Standby); 4];
+        let p = off.place(DataId(1), &placement(), &statuses);
+        assert_eq!(p.disk, DiskId(2), "falls back to the original home");
+        assert!(!p.offloaded);
+    }
+
+    #[test]
+    fn spinning_up_counts_as_spinning() {
+        let mut off = WriteOffloader::new();
+        let mut statuses = vec![status(DiskPowerState::Standby); 4];
+        statuses[1] = status(DiskPowerState::SpinningUp);
+        let p = off.place(DataId(0), &placement(), &statuses);
+        assert_eq!(p.disk, DiskId(1));
+        assert!(!p.offloaded, "disk 1 is a home location of data 0");
+    }
+}

@@ -1,0 +1,144 @@
+//! The paper's running example (Figs. 2–4): six requests, four disks, the
+//! toy power model with `TB = 5 s` and unit idle power.
+//!
+//! Shared by unit tests, the `paper_walkthrough` example and the
+//! `figures` harness, so the numbers the paper quotes (energies 10, 15,
+//! 19, 20, 23, 72) are asserted in exactly one encoding.
+//!
+//! Data/disk naming: the paper's `b1..b6` are [`DataId`] 0–5 and `d1..d4`
+//! are [`DiskId`] 0–3.
+
+use spindown_disk::power::PowerParams;
+use spindown_sim::time::SimTime;
+
+use crate::model::{Assignment, DataId, DiskId, Request};
+use crate::sched::ExplicitPlacement;
+
+/// The toy power model: 1 W active/idle, zero standby, zero-cost
+/// transitions, breakeven pinned at 5 s.
+pub fn params() -> PowerParams {
+    PowerParams::paper_example()
+}
+
+/// The Fig. 2 placement: `d1 = {b1,b2,b3,b5}`, `d2 = {b2,b3}`,
+/// `d3 = {b4,b6}`, `d4 = {b3,b4,b5,b6}`.
+pub fn placement() -> ExplicitPlacement {
+    ExplicitPlacement::new(
+        vec![
+            vec![DiskId(0)],                       // b1: d1
+            vec![DiskId(0), DiskId(1)],            // b2: d1, d2
+            vec![DiskId(0), DiskId(1), DiskId(3)], // b3: d1, d2, d4
+            vec![DiskId(2), DiskId(3)],            // b4: d3, d4
+            vec![DiskId(0), DiskId(3)],            // b5: d1, d4
+            vec![DiskId(2), DiskId(3)],            // b6: d3, d4
+        ],
+        4,
+    )
+}
+
+fn requests(times_s: [u64; 6]) -> Vec<Request> {
+    times_s
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| Request {
+            index: i as u32,
+            at: SimTime::from_secs(t),
+            data: DataId(i as u64),
+            size: 512 * 1024,
+        })
+        .collect()
+}
+
+/// The batch instance (Fig. 2): all six requests access disks
+/// concurrently at `t = 0`.
+pub fn batch_requests() -> Vec<Request> {
+    requests([0; 6])
+}
+
+/// The offline instance (Fig. 3): arrivals at `t = 0, 1, 3, 5, 12, 13`.
+pub fn offline_requests() -> Vec<Request> {
+    requests([0, 1, 3, 5, 12, 13])
+}
+
+/// Schedule A (Fig. 2a): `r1,r5 → d1`, `r2,r3 → d2`, `r4,r6 → d3` —
+/// three disks, batch energy 15.
+pub fn schedule_a() -> Assignment {
+    Assignment {
+        disks: vec![
+            DiskId(0),
+            DiskId(1),
+            DiskId(1),
+            DiskId(2),
+            DiskId(0),
+            DiskId(2),
+        ],
+    }
+}
+
+/// Schedule B (Figs. 2b/3a): `r1,r2,r3,r5 → d1`, `r4,r6 → d3` — two
+/// disks; batch energy 10 (optimal), offline energy 23 (no longer
+/// optimal).
+pub fn schedule_b() -> Assignment {
+    Assignment {
+        disks: vec![
+            DiskId(0),
+            DiskId(0),
+            DiskId(0),
+            DiskId(2),
+            DiskId(0),
+            DiskId(2),
+        ],
+    }
+}
+
+/// Schedule C (Fig. 3b): `r1,r2,r3 → d1`, `r4 → d3`, `r5,r6 → d4` —
+/// offline-optimal with energy 19 (the paper's §2.3.2 arithmetic; the
+/// figure caption's "21" is inconsistent with its own text).
+pub fn schedule_c() -> Assignment {
+    Assignment {
+        disks: vec![
+            DiskId(0),
+            DiskId(0),
+            DiskId(0),
+            DiskId(2),
+            DiskId(3),
+            DiskId(3),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::evaluate_offline;
+
+    fn energy(requests: &[Request], schedule: &Assignment) -> f64 {
+        evaluate_offline(requests, schedule, 4, &params(), None, None).energy_j
+    }
+
+    #[test]
+    fn all_published_energies_hold() {
+        let batch = batch_requests();
+        let offline = offline_requests();
+        assert_eq!(energy(&batch, &schedule_a()), 15.0);
+        assert_eq!(energy(&batch, &schedule_b()), 10.0);
+        assert_eq!(energy(&offline, &schedule_b()), 23.0);
+        assert_eq!(energy(&offline, &schedule_c()), 19.0);
+        // Always-on baselines: 20 for the batch window, 72 for offline.
+        let m = evaluate_offline(&batch, &schedule_b(), 4, &params(), None, None);
+        assert_eq!(m.always_on_j, 20.0);
+        let m = evaluate_offline(&offline, &schedule_c(), 4, &params(), None, None);
+        assert_eq!(m.always_on_j, 72.0);
+    }
+
+    #[test]
+    fn schedules_respect_placement() {
+        let placement = placement();
+        use crate::sched::LocationProvider;
+        for schedule in [schedule_a(), schedule_b(), schedule_c()] {
+            for (r, req) in offline_requests().iter().enumerate() {
+                assert!(placement.locations(req.data).contains(&schedule.disk_of(r)));
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Data-placement manager (paper §2.1, §4.2).
+//!
+//! The scheduler never moves data; it only exploits where the placement
+//! manager already put it. The paper's experimental placement is:
+//!
+//! * the **original** copy of each data item lands on a disk drawn from a
+//!   Zipf(`z`) distribution over disks (`z = 1` in the main experiments,
+//!   swept over `[0, 1]` in Fig. 10) — modelling observed hot/cold disk
+//!   skew;
+//! * the **replica** copies land on distinct disks drawn uniformly —
+//!   modelling fault-tolerance-oriented replica spreading.
+
+use spindown_sim::rng::{SimRng, Zipf};
+
+use crate::model::{DataId, DiskId};
+
+/// Configuration of the experimental placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementConfig {
+    /// Number of disks in the system (the paper uses 180).
+    pub disks: u32,
+    /// Replication factor: total copies per data item, original included
+    /// (the paper sweeps 1–5).
+    pub replication: u32,
+    /// Zipf exponent of the original-copy distribution over disks
+    /// (`z = 0` uniform … `z = 1` classic Zipf).
+    pub zipf_z: f64,
+}
+
+impl Default for PlacementConfig {
+    fn default() -> Self {
+        PlacementConfig {
+            disks: 180,
+            replication: 3,
+            zipf_z: 1.0,
+        }
+    }
+}
+
+/// Immutable map from data item to its replica locations.
+///
+/// `locations(data)[0]` is the original copy (the target of the `Static`
+/// scheduler); the rest are replicas. All locations of one item are
+/// distinct disks.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_core::placement::{PlacementConfig, PlacementMap};
+/// use spindown_core::model::DataId;
+///
+/// let map = PlacementMap::build(100, &PlacementConfig { disks: 10, replication: 3, zipf_z: 1.0 }, 42);
+/// let locs = map.locations(DataId(5));
+/// assert_eq!(locs.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacementMap {
+    replication: u32,
+    disks: u32,
+    /// Flat `n_data × replication` matrix of disk ids.
+    table: Vec<DiskId>,
+}
+
+impl PlacementMap {
+    /// Builds the placement for `n_data` dense data ids (`0..n_data`).
+    ///
+    /// Deterministic in `seed`. The Zipf rank→disk assignment is itself a
+    /// random permutation so "hot" disks are not always the low ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disks == 0`, `replication == 0`, or `zipf_z` is
+    /// negative/non-finite. A replication factor larger than the disk
+    /// count is clamped to the disk count.
+    pub fn build(n_data: usize, config: &PlacementConfig, seed: u64) -> Self {
+        assert!(config.disks > 0, "need at least one disk");
+        assert!(config.replication > 0, "replication factor must be >= 1");
+        let replication = config.replication.min(config.disks);
+        // Originals and replicas draw from *independent* streams so the
+        // original locations are identical for every replication factor —
+        // the paper relies on this ("the results of Static remain the
+        // same" across the rf sweep, §5.2).
+        let mut root = SimRng::seed_from_u64(seed ^ 0x9_1ACE);
+        let mut orig_rng = root.fork(0);
+        let mut repl_rng = root.fork(1);
+        let zipf = Zipf::new(config.disks as usize, config.zipf_z).expect("valid zipf parameters");
+        // Rank → disk permutation.
+        let mut rank_to_disk: Vec<u32> = (0..config.disks).collect();
+        orig_rng.shuffle(&mut rank_to_disk);
+
+        let mut table = Vec::with_capacity(n_data * replication as usize);
+        for _ in 0..n_data {
+            let original = rank_to_disk[zipf.sample(&mut orig_rng) - 1];
+            table.push(DiskId(original));
+            // Replicas: uniform over the remaining disks, distinct.
+            let mut chosen = vec![original];
+            for _ in 1..replication {
+                loop {
+                    let d = repl_rng.next_below(config.disks as u64) as u32;
+                    if !chosen.contains(&d) {
+                        chosen.push(d);
+                        table.push(DiskId(d));
+                        break;
+                    }
+                }
+            }
+        }
+        PlacementMap {
+            replication,
+            disks: config.disks,
+            table,
+        }
+    }
+
+    /// Number of copies per data item.
+    pub fn replication(&self) -> u32 {
+        self.replication
+    }
+
+    /// Number of disks in the system.
+    pub fn disks(&self) -> u32 {
+        self.disks
+    }
+
+    /// Number of data items mapped.
+    pub fn n_data(&self) -> usize {
+        self.table.len() / self.replication as usize
+    }
+
+    /// All copies of `data` (original first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is out of range.
+    pub fn locations(&self, data: DataId) -> &[DiskId] {
+        let r = self.replication as usize;
+        let start = data.0 as usize * r;
+        &self.table[start..start + r]
+    }
+
+    /// The original copy's disk.
+    pub fn original(&self, data: DataId) -> DiskId {
+        self.locations(data)[0]
+    }
+
+    /// Per-disk count of original copies — used by tests to verify the
+    /// Zipf skew and by the trace explorer example.
+    pub fn original_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.disks as usize];
+        let r = self.replication as usize;
+        for chunk in self.table.chunks(r) {
+            h[chunk[0].index()] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(disks: u32, replication: u32, z: f64) -> PlacementConfig {
+        PlacementConfig {
+            disks,
+            replication,
+            zipf_z: z,
+        }
+    }
+
+    #[test]
+    fn locations_are_distinct_and_in_range() {
+        let map = PlacementMap::build(500, &cfg(20, 4, 1.0), 1);
+        for d in 0..500 {
+            let locs = map.locations(DataId(d));
+            assert_eq!(locs.len(), 4);
+            let mut seen = locs.to_vec();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), 4, "duplicate replica for data {d}");
+            assert!(locs.iter().all(|l| l.0 < 20));
+        }
+    }
+
+    #[test]
+    fn replication_one_has_single_copy() {
+        let map = PlacementMap::build(100, &cfg(10, 1, 1.0), 2);
+        assert_eq!(map.replication(), 1);
+        for d in 0..100 {
+            assert_eq!(map.locations(DataId(d)).len(), 1);
+            assert_eq!(map.original(DataId(d)), map.locations(DataId(d))[0]);
+        }
+    }
+
+    #[test]
+    fn replication_clamped_to_disk_count() {
+        let map = PlacementMap::build(10, &cfg(3, 10, 0.0), 3);
+        assert_eq!(map.replication(), 3);
+    }
+
+    #[test]
+    fn zipf_originals_are_skewed_uniform_is_not() {
+        let skewed = PlacementMap::build(20_000, &cfg(100, 1, 1.0), 7);
+        let uniform = PlacementMap::build(20_000, &cfg(100, 1, 0.0), 7);
+        let top = |h: &[usize]| *h.iter().max().unwrap() as f64;
+        let hs = skewed.original_histogram();
+        let hu = uniform.original_histogram();
+        // Zipf z=1 over 100 disks: hottest ~1/H_100 ≈ 19%; uniform: 1%.
+        assert!(top(&hs) > 20_000.0 * 0.10, "skewed max {}", top(&hs));
+        assert!(top(&hu) < 20_000.0 * 0.03, "uniform max {}", top(&hu));
+        assert_eq!(hs.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn originals_invariant_to_replication_factor() {
+        // The paper's Static scheduler must see the same original
+        // placement at every rf (its Fig. 6 line is flat by construction).
+        let rf1 = PlacementMap::build(500, &cfg(20, 1, 1.0), 9);
+        let rf5 = PlacementMap::build(500, &cfg(20, 5, 1.0), 9);
+        for d in 0..500 {
+            assert_eq!(rf1.original(DataId(d)), rf5.original(DataId(d)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PlacementMap::build(200, &cfg(16, 3, 1.0), 11);
+        let b = PlacementMap::build(200, &cfg(16, 3, 1.0), 11);
+        let c = PlacementMap::build(200, &cfg(16, 3, 1.0), 12);
+        assert_eq!(a.table, b.table);
+        assert_ne!(a.table, c.table);
+    }
+
+    #[test]
+    fn n_data_reported() {
+        let map = PlacementMap::build(123, &cfg(8, 2, 0.5), 0);
+        assert_eq!(map.n_data(), 123);
+        assert_eq!(map.disks(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn zero_disks_rejected() {
+        PlacementMap::build(1, &cfg(0, 1, 1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn zero_replication_rejected() {
+        PlacementMap::build(1, &cfg(5, 0, 1.0), 0);
+    }
+
+    #[test]
+    fn replicas_roughly_uniform() {
+        // With z=1 originals but uniform replicas, replica copies (index
+        // >= 1) should spread evenly.
+        let map = PlacementMap::build(30_000, &cfg(50, 3, 1.0), 5);
+        let mut replica_h = vec![0usize; 50];
+        for d in 0..30_000 {
+            for loc in &map.locations(DataId(d))[1..] {
+                replica_h[loc.index()] += 1;
+            }
+        }
+        let total: usize = replica_h.iter().sum();
+        let mean = total as f64 / 50.0;
+        for (i, &c) in replica_h.iter().enumerate() {
+            assert!(
+                (c as f64) < mean * 1.3 && (c as f64) > mean * 0.7,
+                "disk {i} replica count {c} vs mean {mean}"
+            );
+        }
+    }
+}

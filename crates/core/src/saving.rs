@@ -1,0 +1,168 @@
+//! Per-request energy accounting for the offline model: the paper's
+//! Lemma 1 / Eq. 3.
+//!
+//! The **energy consumption of a request** `r_i` on disk `d_k` is the
+//! energy `d_k` consumes from `t_i` until its next request `r_j` arrives.
+//! Under 2CPM with advance spin-up (offline model) there are three cases:
+//!
+//! * **Case I** — `t_j − t_i ≥ TB + T_up + T_down`: the disk idles a full
+//!   breakeven period, spins down and back up: cost `E_up + E_down +
+//!   TB·P_I` — the maximum, so the saving is 0.
+//! * **Case II/III** — `t_j − t_i < TB + T_up + T_down`: the disk stays
+//!   idle until `t_j` (spinning down would make `r_j` late): cost
+//!   `(t_j − t_i)·P_I`, saving `E_up + E_down + (TB − (t_j − t_i))·P_I`.
+//!
+//! The **maximum energy** of any request is `E_max = E_up + E_down +
+//! TB·P_I`, and `X(i,j,k) = E_max − cost`.
+
+use spindown_disk::power::PowerParams;
+use spindown_sim::time::{SimDuration, SimTime};
+
+/// Pre-extracted constants of Eq. 3, so the scheduler's inner loops don't
+/// repeatedly unpack [`PowerParams`].
+#[derive(Debug, Clone, Copy)]
+pub struct SavingModel {
+    /// `E_up + E_down`, joules.
+    pub transition_j: f64,
+    /// Breakeven time `TB`, seconds.
+    pub breakeven_s: f64,
+    /// Idle power `P_I`, watts.
+    pub idle_w: f64,
+    /// The saving window `TB + T_up + T_down`, seconds: a successor
+    /// arriving later than this saves nothing.
+    pub window_s: f64,
+}
+
+impl SavingModel {
+    /// Builds the model from power parameters.
+    pub fn new(params: &PowerParams) -> Self {
+        SavingModel {
+            transition_j: params.transition_j(),
+            breakeven_s: params.breakeven_secs(),
+            idle_w: params.idle_w,
+            window_s: params.breakeven_secs() + params.transition_s(),
+        }
+    }
+
+    /// The saving window as a [`SimDuration`].
+    pub fn window(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.window_s)
+    }
+
+    /// `E_max = E_up + E_down + TB·P_I` — the worst-case energy of one
+    /// request (paper §3.1.1).
+    pub fn max_request_energy_j(&self) -> f64 {
+        self.transition_j + self.breakeven_s * self.idle_w
+    }
+
+    /// Eq. 3: the energy saving `X(i,j,k)` when `r_j` succeeds `r_i` on
+    /// the same disk, as a function of the gap `t_j − t_i`.
+    ///
+    /// Returns 0 when the gap is at or beyond the saving window. The value
+    /// is non-negative whenever the transition energy dominates idle power
+    /// over the transition time (true for every real disk).
+    pub fn pair_saving_j(&self, ti: SimTime, tj: SimTime) -> f64 {
+        debug_assert!(tj >= ti, "successor must not precede the request");
+        let gap = tj.saturating_since(ti).as_secs_f64();
+        if gap >= self.window_s {
+            return 0.0;
+        }
+        (self.transition_j + (self.breakeven_s - gap) * self.idle_w).max(0.0)
+    }
+
+    /// The offline energy cost of `r_i` given its successor gap — the
+    /// complement of [`SavingModel::pair_saving_j`]:
+    /// `cost = E_max − X`. A request with no successor costs `E_max`.
+    pub fn request_cost_j(&self, gap: Option<SimDuration>) -> f64 {
+        match gap {
+            Some(g) if g.as_secs_f64() < self.window_s => g.as_secs_f64() * self.idle_w,
+            _ => self.max_request_energy_j(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> SavingModel {
+        // The paper's example model: TB = 5 s, P_I = 1 W, no transition
+        // cost or time.
+        SavingModel::new(&PowerParams::paper_example())
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn toy_model_constants() {
+        let m = toy();
+        assert_eq!(m.max_request_energy_j(), 5.0);
+        assert_eq!(m.window_s, 5.0);
+        assert_eq!(m.transition_j, 0.0);
+    }
+
+    #[test]
+    fn paper_fig3b_request_savings() {
+        // Schedule C in Fig. 3(b): r1,r2,r3 on d1 at t=0,1,3.
+        let m = toy();
+        // r1's successor r2 at gap 1: saving 5-1=4 (paper: "the energy
+        // saving of r1 is 4").
+        assert_eq!(m.pair_saving_j(t(0.0), t(1.0)), 4.0);
+        // r2's successor r3 at gap 2: saving 3.
+        assert_eq!(m.pair_saving_j(t(1.0), t(3.0)), 3.0);
+        // r3 has no successor: cost E_max = 5 ("energy consumption of r3
+        // is 5"), saving 0.
+        assert_eq!(m.request_cost_j(None), 5.0);
+        // r5 -> r6 on d4 at 12,13: saving 4.
+        assert_eq!(m.pair_saving_j(t(12.0), t(13.0)), 4.0);
+    }
+
+    #[test]
+    fn saving_is_zero_outside_window() {
+        let m = toy();
+        assert_eq!(m.pair_saving_j(t(0.0), t(5.0)), 0.0);
+        assert_eq!(m.pair_saving_j(t(0.0), t(100.0)), 0.0);
+    }
+
+    #[test]
+    fn saving_decreases_with_gap() {
+        let m = SavingModel::new(&PowerParams::barracuda());
+        let mut prev = f64::INFINITY;
+        for g in 0..30 {
+            let x = m.pair_saving_j(t(0.0), t(g as f64));
+            assert!(x <= prev);
+            assert!(x >= 0.0);
+            prev = x;
+        }
+        // Zero gap achieves the maximum saving E_max.
+        assert!((m.pair_saving_j(t(0.0), t(0.0)) - m.max_request_energy_j()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barracuda_window_includes_transitions() {
+        let p = PowerParams::barracuda();
+        let m = SavingModel::new(&p);
+        assert!((m.window_s - (p.breakeven_secs() + 11.5)).abs() < 1e-12);
+        // A successor arriving after TB but inside the window still saves
+        // the transition energy (Lemma 1 case II).
+        let gap = p.breakeven_secs() + 5.0;
+        let x = m.pair_saving_j(t(0.0), t(gap));
+        assert!(x > 0.0, "case II saving {x}");
+        assert!(x < p.transition_j());
+    }
+
+    #[test]
+    fn request_cost_complements_saving() {
+        let m = SavingModel::new(&PowerParams::barracuda());
+        for g in [0.0, 1.0, 10.0, 20.0, 30.0, 100.0] {
+            let cost = m.request_cost_j(Some(SimDuration::from_secs_f64(g)));
+            let saving = m.pair_saving_j(t(0.0), t(g));
+            assert!(
+                (cost + saving - m.max_request_energy_j()).abs() < 1e-9,
+                "gap {g}: cost {cost} + saving {saving} != E_max"
+            );
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Energy-aware `Heuristic` online scheduler (paper §3.3): dispatch each
+//! request to the replica location minimizing the Eq. 6 composite cost
+//! `C(d_k) = E(d_k)·α/β + P(d_k)·(1−α)`.
+
+use crate::cost::CostFunction;
+use crate::model::{DiskId, Request};
+use crate::sched::{Scheduler, SystemView};
+
+/// The paper's online energy-aware scheduler.
+///
+/// Ties break toward the lower disk id, making decisions deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_core::cost::CostFunction;
+/// use spindown_core::sched::HeuristicScheduler;
+///
+/// // The paper's operating point (α = 0.2, β = 100):
+/// let sched = HeuristicScheduler::new(CostFunction::default());
+/// # let _ = sched;
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeuristicScheduler {
+    cost: CostFunction,
+}
+
+impl HeuristicScheduler {
+    /// Creates the scheduler with the given cost function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cost function fails validation (`α ∉ [0,1]` or
+    /// `β ≤ 0`).
+    pub fn new(cost: CostFunction) -> Self {
+        cost.validate().expect("invalid cost function");
+        HeuristicScheduler { cost }
+    }
+
+    /// The configured cost function.
+    pub fn cost_function(&self) -> CostFunction {
+        self.cost
+    }
+}
+
+impl Scheduler for HeuristicScheduler {
+    fn name(&self) -> &'static str {
+        "heuristic"
+    }
+
+    fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
+        reqs.iter()
+            .map(|r| {
+                *view
+                    .locations(r.data)
+                    .iter()
+                    .min_by(|a, b| {
+                        let ca = self.cost.cost(view.status(**a), view.now, view.params);
+                        let cb = self.cost.cost(view.status(**b), view.now, view.params);
+                        ca.partial_cmp(&cb)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(b))
+                    })
+                    .expect("every data item has at least one location")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::DiskStatus;
+    use crate::model::DataId;
+    use crate::sched::ExplicitPlacement;
+    use spindown_disk::power::PowerParams;
+    use spindown_disk::state::DiskPowerState;
+    use spindown_sim::time::SimTime;
+
+    fn req(data: u64) -> Request {
+        Request {
+            index: 0,
+            at: SimTime::from_secs(100),
+            data: DataId(data),
+            size: 4096,
+        }
+    }
+
+    fn status(state: DiskPowerState, last_s: Option<u64>, load: usize) -> DiskStatus {
+        DiskStatus {
+            state,
+            last_request_at: last_s.map(SimTime::from_secs),
+            load,
+        }
+    }
+
+    #[test]
+    fn energy_only_prefers_spinning_disk() {
+        let placement = ExplicitPlacement::new(vec![vec![DiskId(0), DiskId(1)]], 2);
+        let params = PowerParams::barracuda();
+        // Disk 0 standby, disk 1 active (busy but spinning).
+        let statuses = vec![
+            status(DiskPowerState::Standby, None, 0),
+            status(DiskPowerState::Active, Some(99), 10),
+        ];
+        let view = SystemView {
+            now: SimTime::from_secs(100),
+            params: &params,
+            placement: &placement,
+            statuses: &statuses,
+        };
+        let mut s = HeuristicScheduler::new(CostFunction::energy_only());
+        assert_eq!(s.assign(&[req(0)], &view), vec![DiskId(1)]);
+    }
+
+    #[test]
+    fn performance_only_prefers_empty_disk() {
+        let placement = ExplicitPlacement::new(vec![vec![DiskId(0), DiskId(1)]], 2);
+        let params = PowerParams::barracuda();
+        let statuses = vec![
+            status(DiskPowerState::Standby, None, 0),
+            status(DiskPowerState::Active, Some(99), 10),
+        ];
+        let view = SystemView {
+            now: SimTime::from_secs(100),
+            params: &params,
+            placement: &placement,
+            statuses: &statuses,
+        };
+        let mut s = HeuristicScheduler::new(CostFunction::performance_only());
+        assert_eq!(s.assign(&[req(0)], &view), vec![DiskId(0)]);
+    }
+
+    #[test]
+    fn prefers_spinning_up_disk_over_idle_one() {
+        // §3.3: a spinning-up disk (cost 0) beats an idle disk whose idle
+        // clock would be extended.
+        let placement = ExplicitPlacement::new(vec![vec![DiskId(0), DiskId(1)]], 2);
+        let params = PowerParams::barracuda();
+        let statuses = vec![
+            status(DiskPowerState::Idle, Some(80), 0),
+            status(DiskPowerState::SpinningUp, Some(99), 2),
+        ];
+        let view = SystemView {
+            now: SimTime::from_secs(100),
+            params: &params,
+            placement: &placement,
+            statuses: &statuses,
+        };
+        let mut s = HeuristicScheduler::new(CostFunction::energy_only());
+        assert_eq!(s.assign(&[req(0)], &view), vec![DiskId(1)]);
+    }
+
+    #[test]
+    fn tie_breaks_to_lower_disk_id() {
+        let placement = ExplicitPlacement::new(vec![vec![DiskId(1), DiskId(0)]], 2);
+        let params = PowerParams::barracuda();
+        let statuses = vec![status(DiskPowerState::Standby, None, 0); 2];
+        let view = SystemView {
+            now: SimTime::ZERO,
+            params: &params,
+            placement: &placement,
+            statuses: &statuses,
+        };
+        let mut s = HeuristicScheduler::new(CostFunction::default());
+        assert_eq!(s.assign(&[req(0)], &view), vec![DiskId(0)]);
+    }
+
+    #[test]
+    fn default_alpha_balances() {
+        // With α = 0.2 an idle disk with short extension beats a heavily
+        // loaded active disk (the performance term dominates at α = 0.2).
+        let placement = ExplicitPlacement::new(vec![vec![DiskId(0), DiskId(1)]], 2);
+        let params = PowerParams::barracuda();
+        let statuses = vec![
+            status(DiskPowerState::Idle, Some(99), 0),
+            status(DiskPowerState::Active, Some(100), 50),
+        ];
+        let view = SystemView {
+            now: SimTime::from_secs(100),
+            params: &params,
+            placement: &placement,
+            statuses: &statuses,
+        };
+        let mut s = HeuristicScheduler::new(CostFunction::default());
+        assert_eq!(s.assign(&[req(0)], &view), vec![DiskId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost function")]
+    fn rejects_invalid_cost() {
+        HeuristicScheduler::new(CostFunction {
+            alpha: 2.0,
+            beta: 1.0,
+        });
+    }
+}

@@ -1,0 +1,112 @@
+//! `LoadAware` baseline (extension): join-the-shortest-queue over the
+//! replica locations, ignoring energy entirely.
+//!
+//! This is the classical latency-optimal dispatching rule and a sharper
+//! performance baseline than `Random`: it shows how much response time is
+//! attainable with replica freedom when energy is *not* a concern, which
+//! brackets the cost of the heuristic's energy term from the other side
+//! (the paper's α = 0 configuration approximates it through Eq. 6).
+
+use crate::model::{DiskId, Request};
+use crate::sched::{Scheduler, SystemView};
+
+/// Join-the-shortest-queue scheduler. Among a request's replica
+/// locations, picks the disk with the fewest pending requests; ties
+/// prefer a ready (spinning) disk, then the lower id.
+#[derive(Debug, Default, Clone)]
+pub struct LoadAwareScheduler;
+
+impl Scheduler for LoadAwareScheduler {
+    fn name(&self) -> &'static str {
+        "load-aware"
+    }
+
+    fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
+        reqs.iter()
+            .map(|r| {
+                *view
+                    .locations(r.data)
+                    .iter()
+                    .min_by_key(|d| {
+                        let s = view.status(**d);
+                        // Ready disks can start immediately; sleeping disks
+                        // add a spin-up to every queued request.
+                        (s.load, !s.state.is_ready(), d.0)
+                    })
+                    .expect("every data item has at least one location")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::DiskStatus;
+    use crate::model::DataId;
+    use crate::sched::ExplicitPlacement;
+    use spindown_disk::power::PowerParams;
+    use spindown_disk::state::DiskPowerState;
+    use spindown_sim::time::SimTime;
+
+    fn req(data: u64) -> Request {
+        Request {
+            index: 0,
+            at: SimTime::ZERO,
+            data: DataId(data),
+            size: 4096,
+        }
+    }
+
+    fn status(state: DiskPowerState, load: usize) -> DiskStatus {
+        DiskStatus {
+            state,
+            last_request_at: None,
+            load,
+        }
+    }
+
+    #[test]
+    fn picks_shortest_queue() {
+        let placement = ExplicitPlacement::new(vec![vec![DiskId(0), DiskId(1)]], 2);
+        let params = PowerParams::barracuda();
+        let statuses = vec![
+            status(DiskPowerState::Idle, 5),
+            status(DiskPowerState::Idle, 1),
+        ];
+        let view = SystemView {
+            now: SimTime::ZERO,
+            params: &params,
+            placement: &placement,
+            statuses: &statuses,
+        };
+        let mut s = LoadAwareScheduler;
+        assert_eq!(s.assign(&[req(0)], &view), vec![DiskId(1)]);
+    }
+
+    #[test]
+    fn tie_prefers_spinning_disk_then_lower_id() {
+        let placement = ExplicitPlacement::new(
+            vec![vec![DiskId(0), DiskId(1)], vec![DiskId(2), DiskId(1)]],
+            3,
+        );
+        let params = PowerParams::barracuda();
+        let statuses = vec![
+            status(DiskPowerState::Standby, 0),
+            status(DiskPowerState::Idle, 0),
+            status(DiskPowerState::Idle, 0),
+        ];
+        let view = SystemView {
+            now: SimTime::ZERO,
+            params: &params,
+            placement: &placement,
+            statuses: &statuses,
+        };
+        let mut s = LoadAwareScheduler;
+        // Data 0: standby d0 vs idle d1, equal load -> idle d1 wins.
+        assert_eq!(s.assign(&[req(0)], &view), vec![DiskId(1)]);
+        // Data 1: both idle, equal load -> lower id d1 wins.
+        assert_eq!(s.assign(&[req(1)], &view), vec![DiskId(1)]);
+        assert_eq!(s.name(), "load-aware");
+    }
+}

@@ -1,0 +1,116 @@
+//! `Random` baseline: uniformly pick one of the request's replica
+//! locations (paper §4.3).
+
+use spindown_sim::rng::SimRng;
+
+use crate::model::{DiskId, Request};
+use crate::sched::{Scheduler, SystemView};
+
+/// The paper's `Random` baseline scheduler.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: SimRng,
+}
+
+impl RandomScheduler {
+    /// Creates the scheduler with its own deterministic stream.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: SimRng::seed_from_u64(seed ^ 0x52414E44), // "RAND"
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
+        reqs.iter()
+            .map(|r| *self.rng.choose(view.locations(r.data)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::DiskStatus;
+    use crate::model::DataId;
+    use crate::sched::ExplicitPlacement;
+    use spindown_disk::power::PowerParams;
+    use spindown_disk::state::DiskPowerState;
+    use spindown_sim::time::SimTime;
+
+    fn view<'a>(
+        placement: &'a ExplicitPlacement,
+        params: &'a PowerParams,
+        statuses: &'a [DiskStatus],
+    ) -> SystemView<'a> {
+        SystemView {
+            now: SimTime::ZERO,
+            params,
+            placement,
+            statuses,
+        }
+    }
+
+    fn req(i: u32, data: u64) -> Request {
+        Request {
+            index: i,
+            at: SimTime::ZERO,
+            data: DataId(data),
+            size: 4096,
+        }
+    }
+
+    #[test]
+    fn picks_only_valid_locations_and_spreads() {
+        let placement = ExplicitPlacement::new(vec![vec![DiskId(1), DiskId(3), DiskId(4)]], 5);
+        let params = PowerParams::barracuda();
+        let statuses = vec![
+            DiskStatus {
+                state: DiskPowerState::Standby,
+                last_request_at: None,
+                load: 0
+            };
+            5
+        ];
+        let v = view(&placement, &params, &statuses);
+        let mut s = RandomScheduler::new(1);
+        let mut counts = [0u32; 5];
+        for i in 0..3000 {
+            let picks = s.assign(&[req(i, 0)], &v);
+            counts[picks[0].index()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[2], 0);
+        for d in [1, 3, 4] {
+            assert!(counts[d] > 800, "disk {d} only picked {}", counts[d]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let placement = ExplicitPlacement::new(vec![vec![DiskId(0), DiskId(1)]], 2);
+        let params = PowerParams::barracuda();
+        let statuses = vec![
+            DiskStatus {
+                state: DiskPowerState::Standby,
+                last_request_at: None,
+                load: 0
+            };
+            2
+        ];
+        let v = view(&placement, &params, &statuses);
+        let run = |seed| {
+            let mut s = RandomScheduler::new(seed);
+            (0..50)
+                .map(|i| s.assign(&[req(i, 0)], &v)[0])
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

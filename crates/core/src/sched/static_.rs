@@ -1,0 +1,66 @@
+//! `Static` baseline: always dispatch to the original data location
+//! (paper §4.3). Replication is ignored entirely, so this scheduler's
+//! results are independent of the replication factor — the flat lines in
+//! Figs. 6–8.
+
+use crate::model::{DiskId, Request};
+use crate::sched::{Scheduler, SystemView};
+
+/// The paper's `Static` baseline scheduler.
+#[derive(Debug, Default, Clone)]
+pub struct StaticScheduler;
+
+impl Scheduler for StaticScheduler {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
+        reqs.iter().map(|r| view.locations(r.data)[0]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::DiskStatus;
+    use crate::model::DataId;
+    use crate::sched::ExplicitPlacement;
+    use spindown_disk::power::PowerParams;
+    use spindown_disk::state::DiskPowerState;
+    use spindown_sim::time::SimTime;
+
+    #[test]
+    fn always_picks_original() {
+        let placement = ExplicitPlacement::new(
+            vec![vec![DiskId(2), DiskId(0)], vec![DiskId(1), DiskId(2)]],
+            3,
+        );
+        let params = PowerParams::barracuda();
+        let statuses = vec![
+            DiskStatus {
+                state: DiskPowerState::Idle,
+                last_request_at: None,
+                load: 0
+            };
+            3
+        ];
+        let view = SystemView {
+            now: SimTime::ZERO,
+            params: &params,
+            placement: &placement,
+            statuses: &statuses,
+        };
+        let mut s = StaticScheduler;
+        let reqs: Vec<Request> = (0..2)
+            .map(|i| Request {
+                index: i,
+                at: SimTime::ZERO,
+                data: DataId(i as u64),
+                size: 4096,
+            })
+            .collect();
+        assert_eq!(s.assign(&reqs, &view), vec![DiskId(2), DiskId(1)]);
+        assert_eq!(s.name(), "static");
+    }
+}

@@ -1,0 +1,585 @@
+//! The event-driven storage-system simulator (paper Fig. 1): request
+//! stream → scheduler → per-disk queues → disk state machines → power
+//! manager, with full energy and response-time accounting.
+//!
+//! This is the online/batch counterpart of the analytic
+//! [`crate::offline`] evaluator, playing the role OMNeT++ + DiskSim play
+//! in the paper's experiments.
+
+use spindown_disk::disk::{Disk, DiskEvent, DiskRequest};
+use spindown_disk::mechanics::{DiskGeometry, Mechanics};
+use spindown_disk::policy::{AdaptiveThreshold, AlwaysOn, FixedThreshold, IdlePolicy};
+use spindown_disk::power::PowerParams;
+use spindown_disk::queue::QueueDiscipline;
+use spindown_disk::state::DiskPowerState;
+use spindown_sim::event::EventQueue;
+use spindown_sim::rng::{SimRng, SplitMix64};
+use spindown_sim::stats::LatencyHistogram;
+use spindown_sim::time::{SimDuration, SimTime};
+
+use crate::cost::DiskStatus;
+use crate::metrics::{DiskSummary, RunMetrics};
+use crate::model::Request;
+use crate::saving::SavingModel;
+use crate::sched::{LocationProvider, ScheduleMode, Scheduler, SystemView};
+
+/// Which power-management policy every disk runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicyKind {
+    /// Never spin down (the normalization baseline). Disks start idle.
+    AlwaysOn,
+    /// 2CPM with threshold = breakeven time (the paper's configuration).
+    /// Disks start in standby (§2.3).
+    Breakeven,
+    /// 2CPM with an explicit threshold.
+    FixedTimeout(SimDuration),
+    /// Adaptive threshold (ablation; see
+    /// [`spindown_disk::policy::AdaptiveThreshold`]).
+    Adaptive,
+}
+
+/// Static configuration of a simulated storage system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of disks (the paper uses 180).
+    pub disks: u32,
+    /// Power model of every disk.
+    pub power: PowerParams,
+    /// Mechanical model of every disk.
+    pub geometry: DiskGeometry,
+    /// Power-management policy.
+    pub policy: PolicyKind,
+    /// Per-disk request-queue discipline (FCFS in the paper).
+    pub discipline: QueueDiscipline,
+    /// When set, sample the system's total rate-power draw at this
+    /// interval into [`RunMetrics::power_timeline`].
+    pub power_sample: Option<SimDuration>,
+    /// Seed for all stochastic components (mechanics rotation phases).
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            disks: 180,
+            power: PowerParams::barracuda(),
+            geometry: DiskGeometry::cheetah_15k5(),
+            policy: PolicyKind::Breakeven,
+            discipline: QueueDiscipline::Fcfs,
+            power_sample: None,
+            seed: 0,
+        }
+    }
+}
+
+enum Ev {
+    Arrival(u32),
+    BatchTick,
+    Sample,
+    Disk(u32, DiskEvent),
+}
+
+/// Runs `scheduler` over `requests` (time-sorted) against `placement`,
+/// returning the full metrics of the run.
+///
+/// The measurement horizon is `max(last event, last request + saving
+/// window)`, so runs under different schedulers are normalized over
+/// essentially the same span.
+///
+/// # Panics
+///
+/// Panics if `requests` is not sorted by time or a scheduler returns an
+/// off-placement disk.
+pub fn run_system(
+    requests: &[Request],
+    placement: &dyn LocationProvider,
+    scheduler: &mut dyn Scheduler,
+    config: &SystemConfig,
+) -> RunMetrics {
+    assert!(
+        requests.windows(2).all(|w| w[0].at <= w[1].at),
+        "requests must be sorted by time"
+    );
+    assert_eq!(
+        placement.disks(),
+        config.disks,
+        "placement and system disagree on disk count"
+    );
+
+    let mut root_rng = SimRng::seed_from_u64(config.seed ^ 0x5751);
+    let initial_state = match config.policy {
+        PolicyKind::AlwaysOn => DiskPowerState::Idle,
+        _ => DiskPowerState::Standby,
+    };
+    let mut disks: Vec<Disk> = (0..config.disks)
+        .map(|d| {
+            let policy: Box<dyn IdlePolicy> = match &config.policy {
+                PolicyKind::AlwaysOn => Box::new(AlwaysOn),
+                PolicyKind::Breakeven => Box::new(FixedThreshold::breakeven(&config.power)),
+                PolicyKind::FixedTimeout(t) => Box::new(FixedThreshold::new(*t)),
+                PolicyKind::Adaptive => Box::new(AdaptiveThreshold::new(
+                    0.25,
+                    1.0,
+                    SimDuration::from_secs(1),
+                    config.power.breakeven() * 4,
+                )),
+            };
+            Disk::with_discipline(
+                config.power.clone(),
+                Mechanics::new(config.geometry.clone(), root_rng.fork(d as u64)),
+                policy,
+                initial_state,
+                SimTime::ZERO,
+                config.discipline,
+            )
+        })
+        .collect();
+
+    let mut queue: EventQueue<Ev> = EventQueue::with_capacity(requests.len() * 2);
+    for r in requests {
+        queue.schedule(r.at, Ev::Arrival(r.index));
+    }
+    let batch_interval = match scheduler.mode() {
+        ScheduleMode::Online => None,
+        ScheduleMode::Batch(interval) => {
+            if !requests.is_empty() {
+                queue.schedule(SimTime::ZERO + interval, Ev::BatchTick);
+            }
+            Some(interval)
+        }
+    };
+
+    if let Some(interval) = config.power_sample {
+        if !requests.is_empty() {
+            queue.schedule(SimTime::ZERO, Ev::Sample);
+            let _ = interval;
+        }
+    }
+    let mut power_timeline: Vec<(f64, f64)> = Vec::new();
+    let mut batch_buffer: Vec<u32> = Vec::new();
+    let mut arrivals_remaining = requests.len();
+    let mut response = LatencyHistogram::default();
+    let mut requests_per_disk: Vec<u64> = vec![0; config.disks as usize];
+    let mut last_event = SimTime::ZERO;
+
+    // Reusable status snapshot buffer.
+    let mut statuses: Vec<DiskStatus> = Vec::with_capacity(config.disks as usize);
+
+    while let Some(ev) = queue.pop() {
+        let now = ev.at;
+        last_event = now;
+        match ev.payload {
+            Ev::Arrival(i) => {
+                arrivals_remaining -= 1;
+                if batch_interval.is_some() {
+                    batch_buffer.push(i);
+                } else {
+                    dispatch(
+                        &[i],
+                        requests,
+                        placement,
+                        scheduler,
+                        &mut disks,
+                        &mut queue,
+                        &mut statuses,
+                        &mut requests_per_disk,
+                        now,
+                        &config.power,
+                    );
+                }
+            }
+            Ev::BatchTick => {
+                if !batch_buffer.is_empty() {
+                    let batch = std::mem::take(&mut batch_buffer);
+                    dispatch(
+                        &batch,
+                        requests,
+                        placement,
+                        scheduler,
+                        &mut disks,
+                        &mut queue,
+                        &mut statuses,
+                        &mut requests_per_disk,
+                        now,
+                        &config.power,
+                    );
+                }
+                if arrivals_remaining > 0 {
+                    let interval = batch_interval.expect("tick implies batch mode");
+                    queue.schedule(now + interval, Ev::BatchTick);
+                }
+            }
+            Ev::Sample => {
+                let watts: f64 = disks.iter().map(Disk::power_w).sum();
+                power_timeline.push((now.as_secs_f64(), watts));
+                // Keep sampling while real events remain (the only pending
+                // sample is the one just popped, so a non-empty queue means
+                // actual work is still in flight).
+                if !queue.is_empty() {
+                    let interval = config.power_sample.expect("sampling enabled");
+                    queue.schedule(now + interval, Ev::Sample);
+                }
+            }
+            Ev::Disk(d, event) => {
+                let outcome = disks[d as usize].handle(now, event);
+                if let Some(done) = outcome.completed {
+                    let arrival = requests[done.id as usize].at;
+                    response.record(now.saturating_since(arrival));
+                }
+                for dir in outcome.directives {
+                    queue.schedule(now + dir.after, Ev::Disk(d, dir.event));
+                }
+            }
+        }
+    }
+
+    // Horizon: cover the post-trace drain window so normalization is
+    // comparable across schedulers.
+    let model = SavingModel::new(&config.power);
+    let trace_end = requests.last().map(|r| r.at).unwrap_or(SimTime::ZERO);
+    let horizon = last_event.max(trace_end + model.window());
+    let horizon_s = horizon.as_secs_f64();
+
+    let per_disk: Vec<DiskSummary> = disks
+        .iter()
+        .enumerate()
+        .map(|(i, d)| DiskSummary {
+            energy_j: d.energy_j(horizon),
+            state_fractions: d.meter().state_fractions(horizon),
+            spinups: d.meter().spinups(),
+            spindowns: d.meter().spindowns(),
+            requests: requests_per_disk[i],
+        })
+        .collect();
+
+    RunMetrics {
+        scheduler: scheduler.name().into(),
+        requests: requests.len(),
+        horizon_s,
+        energy_j: per_disk.iter().map(|d| d.energy_j).sum(),
+        always_on_j: config.disks as f64 * config.power.idle_w * horizon_s,
+        spinups: per_disk.iter().map(|d| d.spinups).sum(),
+        spindowns: per_disk.iter().map(|d| d.spindowns).sum(),
+        response,
+        per_disk,
+        power_timeline,
+    }
+}
+
+/// Asks the scheduler to place `batch` and enqueues the results.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    batch: &[u32],
+    requests: &[Request],
+    placement: &dyn LocationProvider,
+    scheduler: &mut dyn Scheduler,
+    disks: &mut [Disk],
+    queue: &mut EventQueue<Ev>,
+    statuses: &mut Vec<DiskStatus>,
+    requests_per_disk: &mut [u64],
+    now: SimTime,
+    power: &PowerParams,
+) {
+    statuses.clear();
+    statuses.extend(disks.iter().map(|d| DiskStatus {
+        state: d.state(),
+        last_request_at: d.last_request_at(),
+        load: d.load(),
+    }));
+    let view = SystemView {
+        now,
+        params: power,
+        placement,
+        statuses: statuses.as_slice(),
+    };
+    let reqs: Vec<Request> = batch.iter().map(|&i| requests[i as usize]).collect();
+    let choices = scheduler.assign(&reqs, &view);
+    assert_eq!(
+        choices.len(),
+        reqs.len(),
+        "scheduler must place every request"
+    );
+    for (req, disk_id) in reqs.iter().zip(choices) {
+        assert!(
+            placement.locations(req.data).contains(&disk_id),
+            "scheduler placed request {} off-placement ({disk_id})",
+            req.index
+        );
+        requests_per_disk[disk_id.index()] += 1;
+        let lba = lba_of(req.data.0, disk_id.0, disks[disk_id.index()].params());
+        let directives = disks[disk_id.index()].enqueue(
+            now,
+            DiskRequest {
+                id: req.index as u64,
+                lba,
+                size: req.size,
+            },
+        );
+        for dir in directives {
+            queue.schedule(now + dir.after, Ev::Disk(disk_id.0, dir.event));
+        }
+    }
+}
+
+/// Deterministic pseudo-LBA of a data item on a disk: a hash of the
+/// (data, disk) pair spread over a nominal 300 GB address space. Real
+/// placements assign blocks to arbitrary physical locations; a hash
+/// reproduces the resulting random seek pattern.
+fn lba_of(data: u64, disk: u32, _params: &PowerParams) -> u64 {
+    let mut h = SplitMix64::new(data ^ ((disk as u64) << 40) ^ 0x10CA);
+    h.next_u64() % 300_000_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostFunction;
+    use crate::model::{DataId, DiskId};
+    use crate::sched::{
+        ExplicitPlacement, HeuristicScheduler, RandomScheduler, StaticScheduler, WscScheduler,
+    };
+
+    fn small_config(disks: u32, policy: PolicyKind) -> SystemConfig {
+        SystemConfig {
+            disks,
+            policy,
+            seed: 1,
+            ..SystemConfig::default()
+        }
+    }
+
+    fn requests(times_s: &[f64], datas: &[u64]) -> Vec<Request> {
+        times_s
+            .iter()
+            .zip(datas)
+            .enumerate()
+            .map(|(i, (&t, &d))| Request {
+                index: i as u32,
+                at: SimTime::from_secs_f64(t),
+                data: DataId(d),
+                size: 512 * 1024,
+            })
+            .collect()
+    }
+
+    fn two_disk_placement() -> ExplicitPlacement {
+        ExplicitPlacement::new(
+            vec![vec![DiskId(0), DiskId(1)], vec![DiskId(1), DiskId(0)]],
+            2,
+        )
+    }
+
+    #[test]
+    fn completes_all_requests_and_measures_responses() {
+        let reqs = requests(&[0.0, 1.0, 2.0, 50.0], &[0, 1, 0, 1]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let m = run_system(
+            &reqs,
+            &placement,
+            &mut sched,
+            &small_config(2, PolicyKind::Breakeven),
+        );
+        assert_eq!(m.response.count(), 4);
+        assert_eq!(m.requests, 4);
+        assert!(m.energy_j > 0.0);
+        // First request hits a standby disk: response >= spin-up time.
+        assert!(m.response.max() >= 10.0);
+    }
+
+    #[test]
+    fn always_on_has_no_spindowns_and_fast_responses() {
+        let reqs = requests(&[0.0, 30.0, 60.0], &[0, 0, 0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let m = run_system(
+            &reqs,
+            &placement,
+            &mut sched,
+            &small_config(2, PolicyKind::AlwaysOn),
+        );
+        assert_eq!(m.spindowns, 0);
+        assert_eq!(m.spinups, 0);
+        assert!(m.response.max() < 0.1, "max {}", m.response.max());
+        // Energy ≈ always-on baseline.
+        assert!((m.normalized_energy() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn breakeven_policy_saves_energy_on_sparse_load() {
+        // One burst, then silence: the 2CPM disks sleep.
+        let reqs = requests(&[0.0, 0.5, 1.0], &[0, 0, 0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let m = run_system(
+            &reqs,
+            &placement,
+            &mut sched,
+            &small_config(2, PolicyKind::Breakeven),
+        );
+        assert!(m.spindowns >= 1);
+        assert!(
+            m.normalized_energy() < 0.9,
+            "normalized {}",
+            m.normalized_energy()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let reqs = requests(&[0.0, 0.2, 5.0, 40.0, 41.0], &[0, 1, 0, 1, 0]);
+        let placement = two_disk_placement();
+        let run = || {
+            let mut sched = RandomScheduler::new(3);
+            run_system(
+                &reqs,
+                &placement,
+                &mut sched,
+                &small_config(2, PolicyKind::Breakeven),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.energy_j, b.energy_j);
+        assert_eq!(a.spinups, b.spinups);
+        assert_eq!(a.response.mean(), b.response.mean());
+    }
+
+    #[test]
+    fn batch_scheduler_batches_and_completes() {
+        let reqs = requests(&[0.0, 0.01, 0.02, 0.03], &[0, 1, 0, 1]);
+        let placement = two_disk_placement();
+        let mut sched =
+            WscScheduler::new(CostFunction::energy_only(), SimDuration::from_millis(100));
+        let m = run_system(
+            &reqs,
+            &placement,
+            &mut sched,
+            &small_config(2, PolicyKind::Breakeven),
+        );
+        assert_eq!(m.response.count(), 4);
+        // All four requests fit one batch: WSC covers them with ONE disk
+        // (both data items live on both disks), so only one disk ever
+        // spun up.
+        let used: Vec<_> = m.per_disk.iter().filter(|d| d.requests > 0).collect();
+        assert_eq!(used.len(), 1, "WSC should consolidate onto one disk");
+        // Batch queueing delay: responses include up to 0.1 s of waiting.
+        assert!(m.response.mean() >= 0.01);
+    }
+
+    #[test]
+    fn heuristic_consolidates_on_spinning_disk() {
+        // After the first request wakes a disk, subsequent requests for
+        // data replicated on both disks should pile onto the awake disk.
+        let reqs = requests(&[0.0, 12.0, 14.0, 16.0], &[0, 1, 0, 1]);
+        let placement = two_disk_placement();
+        let mut sched = HeuristicScheduler::new(CostFunction::energy_only());
+        let m = run_system(
+            &reqs,
+            &placement,
+            &mut sched,
+            &small_config(2, PolicyKind::Breakeven),
+        );
+        let used: Vec<_> = m
+            .per_disk
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.requests > 0)
+            .collect();
+        assert_eq!(used.len(), 1, "all requests should go to one disk");
+        assert_eq!(m.spinups, 1);
+    }
+
+    #[test]
+    fn empty_request_stream() {
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let m = run_system(
+            &[],
+            &placement,
+            &mut sched,
+            &small_config(2, PolicyKind::Breakeven),
+        );
+        assert_eq!(m.requests, 0);
+        assert_eq!(m.response.count(), 0);
+    }
+
+    #[test]
+    fn adaptive_policy_runs() {
+        let reqs = requests(&[0.0, 1.0, 2.0, 100.0, 101.0], &[0, 0, 0, 0, 0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let m = run_system(
+            &reqs,
+            &placement,
+            &mut sched,
+            &small_config(2, PolicyKind::Adaptive),
+        );
+        assert_eq!(m.response.count(), 5);
+    }
+
+    #[test]
+    fn power_timeline_samples_when_enabled() {
+        let reqs = requests(&[0.0, 1.0, 60.0], &[0, 1, 0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let mut config = small_config(2, PolicyKind::Breakeven);
+        config.power_sample = Some(SimDuration::from_secs(5));
+        let m = run_system(&reqs, &placement, &mut sched, &config);
+        assert!(
+            m.power_timeline.len() >= 5,
+            "expected several samples, got {}",
+            m.power_timeline.len()
+        );
+        let params = PowerParams::barracuda();
+        for &(t, w) in &m.power_timeline {
+            assert!(t >= 0.0);
+            assert!(
+                (0.0..=2.0 * params.active_w).contains(&w),
+                "power sample {w} out of range"
+            );
+        }
+        // Samples are time-ordered.
+        assert!(m.power_timeline.windows(2).all(|p| p[0].0 <= p[1].0));
+        // Early in the run a disk is spinning; the range of sampled power
+        // must vary (disks transition between states).
+        let max = m.power_timeline.iter().map(|p| p.1).fold(0.0, f64::max);
+        let min = m
+            .power_timeline
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::MAX, f64::min);
+        assert!(max > min, "power should vary over the run");
+    }
+
+    #[test]
+    fn power_timeline_empty_when_disabled() {
+        let reqs = requests(&[0.0], &[0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let m = run_system(
+            &reqs,
+            &placement,
+            &mut sched,
+            &small_config(2, PolicyKind::Breakeven),
+        );
+        assert!(m.power_timeline.is_empty());
+    }
+
+    #[test]
+    fn state_fractions_cover_horizon() {
+        let reqs = requests(&[0.0, 5.0, 90.0], &[0, 1, 0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let m = run_system(
+            &reqs,
+            &placement,
+            &mut sched,
+            &small_config(2, PolicyKind::Breakeven),
+        );
+        for d in &m.per_disk {
+            let sum: f64 = d.state_fractions.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "fractions sum {sum}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for Theorem 2: the batch scheduling problem is a
+//! weighted set cover, and the WSC scheduler's behaviour is governed by
+//! the cover it computes.
+
+use proptest::prelude::*;
+
+use spindown_core::cost::{energy_cost_j, CostFunction, DiskStatus};
+use spindown_core::model::{DataId, DiskId, Request};
+use spindown_core::sched::{
+    ExplicitPlacement, LocationProvider, Scheduler, SystemView, WscScheduler,
+};
+use spindown_disk::power::PowerParams;
+use spindown_disk::state::DiskPowerState;
+use spindown_graph::setcover::{harmonic, SetCoverInstance};
+use spindown_sim::time::{SimDuration, SimTime};
+
+/// A random batch: up to 10 queued requests over up to 5 disks, each
+/// request replicated on 1–3 distinct disks, with random disk statuses.
+fn arb_batch() -> impl Strategy<Value = (Vec<Request>, ExplicitPlacement, Vec<DiskStatus>)> {
+    let disks = 5u32;
+    let req = prop::collection::btree_set(0u32..disks, 1..=3);
+    let status = (0usize..4, 0usize..5).prop_map(|(state, load)| DiskStatus {
+        state: match state {
+            0 => DiskPowerState::Standby,
+            1 => DiskPowerState::Idle,
+            2 => DiskPowerState::Active,
+            _ => DiskPowerState::SpinningUp,
+        },
+        last_request_at: Some(SimTime::from_secs(90)),
+        load,
+    });
+    (
+        prop::collection::vec(req, 1..=10),
+        prop::collection::vec(status, disks as usize),
+    )
+        .prop_map(move |(specs, statuses)| {
+            let mut locations = Vec::new();
+            let mut requests = Vec::new();
+            for (i, locs) in specs.into_iter().enumerate() {
+                locations.push(locs.into_iter().map(DiskId).collect::<Vec<_>>());
+                requests.push(Request {
+                    index: i as u32,
+                    at: SimTime::from_secs(100),
+                    data: DataId(i as u64),
+                    size: 4096,
+                });
+            }
+            (requests, ExplicitPlacement::new(locations, disks), statuses)
+        })
+}
+
+/// Builds the Theorem-2 set-cover instance for a batch under pure Eq. 5
+/// weights.
+fn cover_instance(
+    requests: &[Request],
+    placement: &ExplicitPlacement,
+    statuses: &[DiskStatus],
+    params: &PowerParams,
+    now: SimTime,
+) -> SetCoverInstance {
+    let mut inst = SetCoverInstance::new(requests.len());
+    for d in 0..placement.disks() {
+        let disk = DiskId(d);
+        let covered = requests.iter().enumerate().filter_map(|(i, r)| {
+            placement
+                .locations(r.data)
+                .contains(&disk)
+                .then_some(i as u32)
+        });
+        inst.add_set(energy_cost_j(&statuses[d as usize], now, params), covered);
+    }
+    inst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The greedy cover behind the batch scheduler stays within H_n of the
+    /// exact minimum-weight cover (Theorem 2 + the classical bound).
+    #[test]
+    fn batch_cover_is_within_harmonic_of_optimal((requests, placement, statuses) in arb_batch()) {
+        let params = PowerParams::barracuda();
+        let now = SimTime::from_secs(100);
+        let inst = cover_instance(&requests, &placement, &statuses, &params, now);
+        let greedy = inst.solve_greedy().expect("coverable by construction");
+        let exact = inst.solve_exact(16).expect("coverable");
+        prop_assert!(inst.is_cover(&greedy.sets));
+        prop_assert!(exact.weight <= greedy.weight + 1e-9);
+        prop_assert!(
+            greedy.weight <= harmonic(requests.len()) * exact.weight + 1e-9,
+            "greedy {} vs Hn * exact {}",
+            greedy.weight,
+            harmonic(requests.len()) * exact.weight
+        );
+    }
+
+    /// The WSC scheduler's marginal energy never exceeds what dispatching
+    /// each request independently to its cheapest location would cost
+    /// (covering amortizes wake-ups, it never adds them), and its choices
+    /// are always valid replicas.
+    #[test]
+    fn wsc_scheduler_is_no_worse_than_independent_dispatch(
+        (requests, placement, statuses) in arb_batch(),
+    ) {
+        let params = PowerParams::barracuda();
+        let now = SimTime::from_secs(100);
+        let view = SystemView {
+            now,
+            params: &params,
+            placement: &placement,
+            statuses: &statuses,
+        };
+        let mut sched = WscScheduler::new(CostFunction::energy_only(), SimDuration::from_millis(100));
+        let picks = sched.assign(&requests, &view);
+        prop_assert_eq!(picks.len(), requests.len());
+
+        // Validity.
+        for (r, d) in requests.iter().zip(&picks) {
+            prop_assert!(placement.locations(r.data).contains(d));
+        }
+
+        // Energy of the batch = sum of Eq. 5 weights over *distinct* disks
+        // used (each disk pays its marginal cost once per batch).
+        let batch_cost = |choices: &[DiskId]| -> f64 {
+            let mut used: Vec<DiskId> = choices.to_vec();
+            used.sort_unstable();
+            used.dedup();
+            used.iter()
+                .map(|d| energy_cost_j(&statuses[d.index()], now, &params), )
+                .sum()
+        };
+        let wsc_cost = batch_cost(&picks);
+        let independent: Vec<DiskId> = requests
+            .iter()
+            .map(|r| {
+                *placement
+                    .locations(r.data)
+                    .iter()
+                    .min_by(|a, b| {
+                        energy_cost_j(&statuses[a.index()], now, &params)
+                            .partial_cmp(&energy_cost_j(&statuses[b.index()], now, &params))
+                            .unwrap()
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let independent_cost = batch_cost(&independent);
+        // Greedy set cover is within H_n of optimal, and the independent
+        // dispatch is one particular cover, so:
+        prop_assert!(
+            wsc_cost <= harmonic(requests.len()) * independent_cost + 1e-9,
+            "wsc {} vs Hn * independent {}",
+            wsc_cost,
+            independent_cost
+        );
+    }
+}

@@ -1,0 +1,544 @@
+//! The disk itself: a passive state machine combining the mechanical model,
+//! the power meter and an idle policy.
+//!
+//! [`Disk`] owns no event queue. Every mutating call returns
+//! [`Directive`]s — "deliver this [`DiskEvent`] back to me after this
+//! delay" — which the system driver turns into scheduled events. This keeps
+//! the disk unit-testable in isolation and the event loop in one place.
+
+use spindown_sim::time::{SimDuration, SimTime};
+
+use crate::energy::EnergyMeter;
+use crate::mechanics::Mechanics;
+use crate::policy::IdlePolicy;
+use crate::power::PowerParams;
+use crate::queue::{QueueDiscipline, RequestQueue};
+use crate::state::DiskPowerState;
+
+/// A queued unit of disk work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskRequest {
+    /// Caller-assigned identifier, echoed back on completion.
+    pub id: u64,
+    /// Logical block address of the access.
+    pub lba: u64,
+    /// Transfer size in bytes.
+    pub size: u64,
+}
+
+/// Events a disk asks to receive back after a delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskEvent {
+    /// The spin-up transition completed.
+    SpinUpDone,
+    /// The spin-down transition completed.
+    SpinDownDone,
+    /// The request currently in service finished.
+    ServiceDone,
+    /// The idle timer expired. The token invalidates timers that were
+    /// outrun by a request arrival.
+    IdleTimeout(u64),
+}
+
+/// An instruction to the event loop: deliver `event` to this disk `after`
+/// the current time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Directive {
+    /// Delay from "now".
+    pub after: SimDuration,
+    /// The event to deliver.
+    pub event: DiskEvent,
+}
+
+/// Result of delivering an event: possibly a completed request, plus any
+/// follow-up directives.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Request that completed service (only for [`DiskEvent::ServiceDone`]).
+    pub completed: Option<DiskRequest>,
+    /// Follow-up events to schedule.
+    pub directives: Vec<Directive>,
+}
+
+/// One simulated disk.
+pub struct Disk {
+    params: PowerParams,
+    mechanics: Mechanics,
+    policy: Box<dyn IdlePolicy>,
+    meter: EnergyMeter,
+    queue: RequestQueue,
+    in_service: Option<DiskRequest>,
+    idle_token: u64,
+    /// Time this disk last *received* a request — `T_last` in the paper's
+    /// Eq. 5 (used by the scheduler's cost function, not by the disk).
+    last_request_at: Option<SimTime>,
+}
+
+impl std::fmt::Debug for Disk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Disk")
+            .field("state", &self.state())
+            .field("queued", &self.queue.len())
+            .field("in_service", &self.in_service.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Disk {
+    /// Creates a disk that starts in `initial` state at time `start`.
+    ///
+    /// The paper's experiments start all disks in standby (§2.3).
+    pub fn new(
+        params: PowerParams,
+        mechanics: Mechanics,
+        policy: Box<dyn IdlePolicy>,
+        initial: DiskPowerState,
+        start: SimTime,
+    ) -> Self {
+        Disk::with_discipline(
+            params,
+            mechanics,
+            policy,
+            initial,
+            start,
+            QueueDiscipline::Fcfs,
+        )
+    }
+
+    /// Like [`Disk::new`] but with an explicit queue discipline (FCFS is
+    /// what the paper assumes; SSTF/elevator are DiskSim-style options).
+    pub fn with_discipline(
+        params: PowerParams,
+        mechanics: Mechanics,
+        policy: Box<dyn IdlePolicy>,
+        initial: DiskPowerState,
+        start: SimTime,
+        discipline: QueueDiscipline,
+    ) -> Self {
+        Disk {
+            meter: EnergyMeter::new(&params, initial, start),
+            params,
+            mechanics,
+            policy,
+            queue: RequestQueue::new(discipline),
+            in_service: None,
+            idle_token: 0,
+            last_request_at: None,
+        }
+    }
+
+    /// Current power state.
+    pub fn state(&self) -> DiskPowerState {
+        self.meter.current_state()
+    }
+
+    /// Number of requests on the disk (queued + in service) — `P(d_k)` in
+    /// the paper's Eq. 7.
+    pub fn load(&self) -> usize {
+        self.queue.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// Time the disk last received a request — `T_last` in Eq. 5.
+    pub fn last_request_at(&self) -> Option<SimTime> {
+        self.last_request_at
+    }
+
+    /// The power parameters this disk runs with.
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Read access to the energy meter (energy, spin counts, state times).
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// Total energy consumed as of `now`, joules.
+    pub fn energy_j(&self, now: SimTime) -> f64 {
+        self.meter.energy_j(now, &self.params)
+    }
+
+    /// Instantaneous rate power draw, watts (transitions draw lump
+    /// energy, not rate power — see [`crate::energy`]).
+    pub fn power_w(&self) -> f64 {
+        match self.state() {
+            DiskPowerState::Active => self.params.active_w,
+            DiskPowerState::Idle => self.params.idle_w,
+            DiskPowerState::Standby => self.params.standby_w,
+            DiskPowerState::SpinningUp | DiskPowerState::SpinningDown => 0.0,
+        }
+    }
+
+    /// Accepts a request at `now`. Returns directives to schedule.
+    pub fn enqueue(&mut self, now: SimTime, req: DiskRequest) -> Vec<Directive> {
+        self.policy.on_request(now);
+        self.last_request_at = Some(now);
+        match self.state() {
+            DiskPowerState::Idle => {
+                // Cancel any pending idle timer and start service at once.
+                self.idle_token += 1;
+                self.meter.transition(DiskPowerState::Active, now);
+                self.start_service(req)
+            }
+            DiskPowerState::Active | DiskPowerState::SpinningUp | DiskPowerState::SpinningDown => {
+                self.queue.push(req);
+                Vec::new()
+            }
+            DiskPowerState::Standby => {
+                self.queue.push(req);
+                self.meter.transition(DiskPowerState::SpinningUp, now);
+                vec![Directive {
+                    after: self.params.spinup(),
+                    event: DiskEvent::SpinUpDone,
+                }]
+            }
+        }
+    }
+
+    /// Delivers a previously scheduled event at `now`.
+    pub fn handle(&mut self, now: SimTime, event: DiskEvent) -> Outcome {
+        match event {
+            DiskEvent::SpinUpDone => self.on_spinup_done(now),
+            DiskEvent::SpinDownDone => self.on_spindown_done(now),
+            DiskEvent::ServiceDone => self.on_service_done(now),
+            DiskEvent::IdleTimeout(token) => self.on_idle_timeout(now, token),
+        }
+    }
+
+    fn start_service(&mut self, req: DiskRequest) -> Vec<Directive> {
+        debug_assert!(self.in_service.is_none());
+        let service = self.mechanics.service_time(req.lba, req.size);
+        self.in_service = Some(req);
+        vec![Directive {
+            after: service,
+            event: DiskEvent::ServiceDone,
+        }]
+    }
+
+    fn enter_idle(&mut self, now: SimTime) -> Vec<Directive> {
+        self.meter.transition(DiskPowerState::Idle, now);
+        self.idle_token += 1;
+        match self.policy.idle_timeout(now) {
+            Some(after) => vec![Directive {
+                after,
+                event: DiskEvent::IdleTimeout(self.idle_token),
+            }],
+            None => Vec::new(),
+        }
+    }
+
+    fn on_spinup_done(&mut self, now: SimTime) -> Outcome {
+        debug_assert_eq!(self.state(), DiskPowerState::SpinningUp);
+        if let Some(req) = self.queue.pop_next(self.mechanics.head_lba()) {
+            self.meter.transition(DiskPowerState::Active, now);
+            Outcome {
+                completed: None,
+                directives: self.start_service(req),
+            }
+        } else {
+            Outcome {
+                completed: None,
+                directives: self.enter_idle(now),
+            }
+        }
+    }
+
+    fn on_service_done(&mut self, now: SimTime) -> Outcome {
+        debug_assert_eq!(self.state(), DiskPowerState::Active);
+        let done = self.in_service.take();
+        debug_assert!(done.is_some(), "ServiceDone with nothing in service");
+        let directives = if let Some(next) = self.queue.pop_next(self.mechanics.head_lba()) {
+            self.start_service(next)
+        } else {
+            self.enter_idle(now)
+        };
+        Outcome {
+            completed: done,
+            directives,
+        }
+    }
+
+    fn on_idle_timeout(&mut self, now: SimTime, token: u64) -> Outcome {
+        // Stale timer: a request arrived (or another transition happened)
+        // after this timer was armed.
+        if token != self.idle_token || self.state() != DiskPowerState::Idle {
+            return Outcome::default();
+        }
+        self.meter.transition(DiskPowerState::SpinningDown, now);
+        Outcome {
+            completed: None,
+            directives: vec![Directive {
+                after: self.params.spindown(),
+                event: DiskEvent::SpinDownDone,
+            }],
+        }
+    }
+
+    fn on_spindown_done(&mut self, now: SimTime) -> Outcome {
+        debug_assert_eq!(self.state(), DiskPowerState::SpinningDown);
+        self.meter.transition(DiskPowerState::Standby, now);
+        if self.queue.is_empty() {
+            return Outcome::default();
+        }
+        // Requests arrived while we were spinning down: wake right back up.
+        self.meter.transition(DiskPowerState::SpinningUp, now);
+        Outcome {
+            completed: None,
+            directives: vec![Directive {
+                after: self.params.spinup(),
+                event: DiskEvent::SpinUpDone,
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanics::DiskGeometry;
+    use crate::policy::{AlwaysOn, FixedThreshold};
+    use spindown_sim::rng::SimRng;
+
+    fn disk(policy: Box<dyn IdlePolicy>, initial: DiskPowerState) -> Disk {
+        Disk::new(
+            PowerParams::barracuda(),
+            Mechanics::new(DiskGeometry::cheetah_15k5(), SimRng::seed_from_u64(1)),
+            policy,
+            initial,
+            SimTime::ZERO,
+        )
+    }
+
+    fn req(id: u64) -> DiskRequest {
+        DiskRequest {
+            id,
+            lba: id * 1_000_000,
+            size: 512 * 1024,
+        }
+    }
+
+    /// Minimal in-test event loop so disk behaviour can be exercised
+    /// without the full system simulator.
+    fn drain(disk: &mut Disk, mut pending: Vec<(SimTime, DiskEvent)>) -> Vec<(SimTime, u64)> {
+        let mut completed = Vec::new();
+        while !pending.is_empty() {
+            pending.sort_by_key(|(t, _)| *t);
+            let (now, ev) = pending.remove(0);
+            let out = disk.handle(now, ev);
+            if let Some(r) = out.completed {
+                completed.push((now, r.id));
+            }
+            for d in out.directives {
+                pending.push((now + d.after, d.event));
+            }
+        }
+        completed
+    }
+
+    #[test]
+    fn standby_disk_spins_up_then_services() {
+        let params = PowerParams::barracuda();
+        let mut d = disk(
+            Box::new(FixedThreshold::breakeven(&params)),
+            DiskPowerState::Standby,
+        );
+        let dirs = d.enqueue(SimTime::ZERO, req(1));
+        assert_eq!(d.state(), DiskPowerState::SpinningUp);
+        assert_eq!(dirs.len(), 1);
+        assert_eq!(dirs[0].event, DiskEvent::SpinUpDone);
+        assert_eq!(dirs[0].after, params.spinup());
+
+        let pending = vec![(SimTime::ZERO + dirs[0].after, dirs[0].event)];
+        let completed = drain(&mut d, pending);
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].1, 1);
+        // Response: spin-up (10 s) + service (ms) — well above 10 s.
+        assert!(completed[0].0 >= SimTime::from_secs(10));
+        // After service the disk armed an idle timer, drained it, spun
+        // down and ended in standby.
+        assert_eq!(d.state(), DiskPowerState::Standby);
+        assert_eq!(d.meter().spinups(), 1);
+        assert_eq!(d.meter().spindowns(), 1);
+    }
+
+    #[test]
+    fn idle_disk_services_immediately() {
+        let mut d = disk(Box::new(AlwaysOn), DiskPowerState::Idle);
+        let dirs = d.enqueue(SimTime::ZERO, req(7));
+        assert_eq!(d.state(), DiskPowerState::Active);
+        assert_eq!(dirs.len(), 1);
+        assert_eq!(dirs[0].event, DiskEvent::ServiceDone);
+        assert!(dirs[0].after.as_secs_f64() < 0.020);
+    }
+
+    #[test]
+    fn always_on_never_spins_down() {
+        let mut d = disk(Box::new(AlwaysOn), DiskPowerState::Idle);
+        let dirs = d.enqueue(SimTime::ZERO, req(1));
+        let completed = drain(
+            &mut d,
+            dirs.into_iter()
+                .map(|x| (SimTime::ZERO + x.after, x.event))
+                .collect(),
+        );
+        assert_eq!(completed.len(), 1);
+        assert_eq!(d.state(), DiskPowerState::Idle);
+        assert_eq!(d.meter().spindowns(), 0);
+    }
+
+    #[test]
+    fn fifo_service_order() {
+        let mut d = disk(Box::new(AlwaysOn), DiskPowerState::Idle);
+        let mut pending: Vec<(SimTime, DiskEvent)> = d
+            .enqueue(SimTime::ZERO, req(1))
+            .into_iter()
+            .map(|x| (SimTime::ZERO + x.after, x.event))
+            .collect();
+        // Two more arrive while the first is in service.
+        for id in [2, 3] {
+            for x in d.enqueue(SimTime::from_micros(1), req(id)) {
+                pending.push((SimTime::from_micros(1) + x.after, x.event));
+            }
+        }
+        assert_eq!(d.load(), 3);
+        let completed = drain(&mut d, pending);
+        let ids: Vec<u64> = completed.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn request_arrival_cancels_idle_timer() {
+        let params = PowerParams::barracuda();
+        let mut d = disk(
+            Box::new(FixedThreshold::breakeven(&params)),
+            DiskPowerState::Idle,
+        );
+        // Send a request; after completion an idle timer is armed. Deliver
+        // a *new* request before the timer and verify the stale timer does
+        // not spin the disk down mid-service.
+        let mut pending: Vec<(SimTime, DiskEvent)> = d
+            .enqueue(SimTime::ZERO, req(1))
+            .into_iter()
+            .map(|x| (SimTime::ZERO + x.after, x.event))
+            .collect();
+        // Drain only the ServiceDone.
+        pending.sort_by_key(|(t, _)| *t);
+        let (t1, ev1) = pending.remove(0);
+        let out = d.handle(t1, ev1);
+        assert!(out.completed.is_some());
+        let idle_timer = out.directives[0];
+        assert!(matches!(idle_timer.event, DiskEvent::IdleTimeout(_)));
+
+        // New request arrives before the timer fires.
+        let t2 = t1 + SimDuration::from_secs(1);
+        let dirs2 = d.enqueue(t2, req(2));
+        assert_eq!(d.state(), DiskPowerState::Active);
+
+        // The stale timer fires mid-service: must be ignored.
+        let out = d.handle(t1 + idle_timer.after, idle_timer.event);
+        assert!(out.directives.is_empty());
+        assert_eq!(d.state(), DiskPowerState::Active);
+
+        // Finish the second request.
+        let completed = drain(
+            &mut d,
+            dirs2.into_iter().map(|x| (t2 + x.after, x.event)).collect(),
+        );
+        assert_eq!(completed.len(), 1);
+    }
+
+    #[test]
+    fn request_during_spindown_bounces_back_up() {
+        let params = PowerParams::barracuda();
+        let mut d = disk(
+            Box::new(FixedThreshold::breakeven(&params)),
+            DiskPowerState::Idle,
+        );
+        // Arm and fire the idle timer directly.
+        let dirs = d.enter_idle_for_test(SimTime::ZERO);
+        let (after, token) = match dirs[0].event {
+            DiskEvent::IdleTimeout(tok) => (dirs[0].after, tok),
+            _ => panic!("expected idle timeout"),
+        };
+        let t_down = SimTime::ZERO + after;
+        let out = d.handle(t_down, DiskEvent::IdleTimeout(token));
+        assert_eq!(d.state(), DiskPowerState::SpinningDown);
+
+        // Request arrives mid-spin-down.
+        let t_req = t_down + SimDuration::from_millis(500);
+        let dirs = d.enqueue(t_req, req(9));
+        assert!(dirs.is_empty(), "must wait for spin-down completion");
+        assert_eq!(d.state(), DiskPowerState::SpinningDown);
+
+        // Spin-down completes: disk must bounce straight into spin-up.
+        let t_sd = t_down + out.directives[0].after;
+        let out2 = d.handle(t_sd, DiskEvent::SpinDownDone);
+        assert_eq!(d.state(), DiskPowerState::SpinningUp);
+        assert_eq!(out2.directives[0].event, DiskEvent::SpinUpDone);
+
+        let completed = drain(
+            &mut d,
+            out2.directives
+                .into_iter()
+                .map(|x| (t_sd + x.after, x.event))
+                .collect(),
+        );
+        assert_eq!(completed.len(), 1);
+        assert_eq!(completed[0].1, 9);
+    }
+
+    #[test]
+    fn load_counts_queue_and_service() {
+        let mut d = disk(Box::new(AlwaysOn), DiskPowerState::Idle);
+        assert_eq!(d.load(), 0);
+        d.enqueue(SimTime::ZERO, req(1));
+        assert_eq!(d.load(), 1);
+        d.enqueue(SimTime::ZERO, req(2));
+        assert_eq!(d.load(), 2);
+    }
+
+    #[test]
+    fn last_request_time_tracks_arrivals() {
+        let mut d = disk(Box::new(AlwaysOn), DiskPowerState::Idle);
+        assert_eq!(d.last_request_at(), None);
+        d.enqueue(SimTime::from_secs(3), req(1));
+        assert_eq!(d.last_request_at(), Some(SimTime::from_secs(3)));
+    }
+
+    #[test]
+    fn energy_accumulates_across_cycle() {
+        let params = PowerParams::barracuda();
+        let mut d = disk(
+            Box::new(FixedThreshold::breakeven(&params)),
+            DiskPowerState::Standby,
+        );
+        let dirs = d.enqueue(SimTime::ZERO, req(1));
+        drain(
+            &mut d,
+            dirs.into_iter()
+                .map(|x| (SimTime::ZERO + x.after, x.event))
+                .collect(),
+        );
+        // Full cycle: 135 J up + ~TB idle at 9.3 W + 13 J down + service.
+        let horizon = SimTime::from_secs(60);
+        let e = d.energy_j(horizon);
+        let floor = 135.0 + 13.0 + params.breakeven_secs() * 9.3 * 0.99;
+        assert!(e > floor, "energy {e} < floor {floor}");
+        // And far less than always-on over the same horizon.
+        assert!(e < 60.0 * 9.3 + 148.0);
+    }
+
+    impl Disk {
+        /// Test-only helper to arm the idle timer from the idle state.
+        fn enter_idle_for_test(&mut self, now: SimTime) -> Vec<Directive> {
+            self.idle_token += 1;
+            match self.policy.idle_timeout(now) {
+                Some(after) => vec![Directive {
+                    after,
+                    event: DiskEvent::IdleTimeout(self.idle_token),
+                }],
+                None => Vec::new(),
+            }
+        }
+    }
+}

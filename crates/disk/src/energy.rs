@@ -1,0 +1,201 @@
+//! Energy metering: integrates per-state power over time and adds lump
+//! transition energies.
+//!
+//! Accounting convention (matches the paper's model): the two transitional
+//! states draw **no rate power** — their entire cost is the lump `E_up` /
+//! `E_down` charged when the transition starts. This avoids double counting
+//! and makes a completed up/down cycle cost exactly `E_up + E_down`
+//! regardless of `T_up`/`T_down`.
+
+use spindown_sim::stats::StateTimer;
+use spindown_sim::time::{SimDuration, SimTime};
+
+use crate::power::PowerParams;
+use crate::state::DiskPowerState;
+
+/// Per-disk energy meter and state-occupancy tracker.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_disk::energy::EnergyMeter;
+/// use spindown_disk::power::PowerParams;
+/// use spindown_disk::state::DiskPowerState;
+/// use spindown_sim::time::SimTime;
+///
+/// let p = PowerParams::barracuda();
+/// let mut m = EnergyMeter::new(&p, DiskPowerState::Idle, SimTime::ZERO);
+/// m.transition(DiskPowerState::Active, SimTime::from_secs(10));
+/// // 10 s idle at 9.3 W
+/// assert!((m.energy_j(SimTime::from_secs(10), &p) - 93.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    timer: StateTimer<{ DiskPowerState::COUNT }>,
+    spinups: u64,
+    spindowns: u64,
+    started: SimTime,
+}
+
+impl EnergyMeter {
+    /// Creates a meter for a disk that is in `initial` at `start`.
+    pub fn new(_params: &PowerParams, initial: DiskPowerState, start: SimTime) -> Self {
+        EnergyMeter {
+            timer: StateTimer::new(initial.index(), start),
+            spinups: 0,
+            spindowns: 0,
+            started: start,
+        }
+    }
+
+    /// Records a state change at `now`. Entering [`DiskPowerState::SpinningUp`]
+    /// increments the spin-up counter (and charges `E_up` in the energy
+    /// total); likewise for spin-down.
+    pub fn transition(&mut self, next: DiskPowerState, now: SimTime) {
+        match next {
+            DiskPowerState::SpinningUp => self.spinups += 1,
+            DiskPowerState::SpinningDown => self.spindowns += 1,
+            _ => {}
+        }
+        self.timer.transition(next.index(), now);
+    }
+
+    /// The state currently being timed.
+    pub fn current_state(&self) -> DiskPowerState {
+        DiskPowerState::ALL[self.timer.current()]
+    }
+
+    /// Number of spin-up transitions so far.
+    pub fn spinups(&self) -> u64 {
+        self.spinups
+    }
+
+    /// Number of spin-down transitions so far.
+    pub fn spindowns(&self) -> u64 {
+        self.spindowns
+    }
+
+    /// Combined spin-up + spin-down count — the paper's Fig. 7/15 metric.
+    pub fn spin_cycles(&self) -> u64 {
+        self.spinups + self.spindowns
+    }
+
+    /// Time spent in each state as of `now` (open interval included).
+    pub fn state_times(&self, now: SimTime) -> [SimDuration; DiskPowerState::COUNT] {
+        self.timer.snapshot(now)
+    }
+
+    /// Fraction of elapsed time per state as of `now` — one bar of the
+    /// paper's Fig. 9/17.
+    pub fn state_fractions(&self, now: SimTime) -> [f64; DiskPowerState::COUNT] {
+        self.timer.fractions(now)
+    }
+
+    /// Total energy consumed as of `now`, joules:
+    /// rate states integrate power × time, transitions add lump energies.
+    pub fn energy_j(&self, now: SimTime, params: &PowerParams) -> f64 {
+        let t = self.timer.snapshot(now);
+        let rate = t[DiskPowerState::Active.index()].as_secs_f64() * params.active_w
+            + t[DiskPowerState::Idle.index()].as_secs_f64() * params.idle_w
+            + t[DiskPowerState::Standby.index()].as_secs_f64() * params.standby_w;
+        rate + self.spinups as f64 * params.spinup_j + self.spindowns as f64 * params.spindown_j
+    }
+
+    /// Energy an always-on disk (idle the whole run, never servicing) would
+    /// have consumed over the same horizon — the normalization baseline of
+    /// the paper's Fig. 6/14.
+    pub fn always_on_baseline_j(&self, now: SimTime, params: &PowerParams) -> f64 {
+        now.saturating_since(self.started).as_secs_f64() * params.idle_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle_meter() -> (EnergyMeter, PowerParams) {
+        let p = PowerParams::barracuda();
+        let m = EnergyMeter::new(&p, DiskPowerState::Idle, SimTime::ZERO);
+        (m, p)
+    }
+
+    #[test]
+    fn pure_idle_integrates_idle_power() {
+        let (m, p) = idle_meter();
+        let e = m.energy_j(SimTime::from_secs(100), &p);
+        assert!((e - 930.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standby_integrates_standby_power() {
+        let p = PowerParams::barracuda();
+        let m = EnergyMeter::new(&p, DiskPowerState::Standby, SimTime::ZERO);
+        let e = m.energy_j(SimTime::from_secs(100), &p);
+        assert!((e - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_cycle_costs_transition_energy() {
+        let (mut m, p) = idle_meter();
+        // idle 10 s, spin down, standby until 100 s, spin up, idle again.
+        m.transition(DiskPowerState::SpinningDown, SimTime::from_secs(10));
+        m.transition(DiskPowerState::Standby, SimTime::from_secs_f64(11.5));
+        m.transition(DiskPowerState::SpinningUp, SimTime::from_secs(100));
+        m.transition(DiskPowerState::Idle, SimTime::from_secs(110));
+        let e = m.energy_j(SimTime::from_secs(120), &p);
+        let expect = 10.0 * 9.3          // idle before
+            + 13.0                        // spin-down lump
+            + (100.0 - 11.5) * 0.8        // standby
+            + 135.0                       // spin-up lump
+            + 10.0 * 9.3; // idle after
+        assert!((e - expect).abs() < 1e-6, "e={e} expect={expect}");
+        assert_eq!(m.spinups(), 1);
+        assert_eq!(m.spindowns(), 1);
+        assert_eq!(m.spin_cycles(), 2);
+    }
+
+    #[test]
+    fn transitional_states_draw_no_rate_power() {
+        let (mut m, p) = idle_meter();
+        m.transition(DiskPowerState::SpinningDown, SimTime::ZERO);
+        // Sit "spinning down" for an hour: cost must stay the 13 J lump.
+        let e = m.energy_j(SimTime::from_secs(3600), &p);
+        assert!((e - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_uses_active_power() {
+        let p = PowerParams::barracuda();
+        let mut m = EnergyMeter::new(&p, DiskPowerState::Active, SimTime::ZERO);
+        m.transition(DiskPowerState::Idle, SimTime::from_secs(2));
+        let e = m.energy_j(SimTime::from_secs(3), &p);
+        assert!((e - (2.0 * 12.8 + 9.3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_fractions_cover_the_run() {
+        let (mut m, _) = idle_meter();
+        m.transition(DiskPowerState::SpinningDown, SimTime::from_secs(50));
+        m.transition(DiskPowerState::Standby, SimTime::from_secs(52));
+        let f = m.state_fractions(SimTime::from_secs(100));
+        let total: f64 = f.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((f[DiskPowerState::Idle.index()] - 0.5).abs() < 1e-9);
+        assert!((f[DiskPowerState::Standby.index()] - 0.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn always_on_baseline() {
+        let (m, p) = idle_meter();
+        let b = m.always_on_baseline_j(SimTime::from_secs(1000), &p);
+        assert!((b - 9300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn current_state_tracks() {
+        let (mut m, _) = idle_meter();
+        assert_eq!(m.current_state(), DiskPowerState::Idle);
+        m.transition(DiskPowerState::Active, SimTime::from_secs(1));
+        assert_eq!(m.current_state(), DiskPowerState::Active);
+    }
+}

@@ -1,0 +1,42 @@
+//! # spindown-disk
+//!
+//! Disk model for the `spindown` workspace — the substrate that replaces
+//! DiskSim plus the Seagate power specs in the ICDCS 2011 reproduction.
+//!
+//! Components:
+//!
+//! * [`power`] — the paper's Fig. 5 power configuration
+//!   ([`power::PowerParams`]): per-state watts, spin-up/-down joules and
+//!   seconds, breakeven time `TB = E_up/down / P_I`.
+//! * [`mechanics`] — seek / rotation / transfer service-time model
+//!   ([`mechanics::Mechanics`]), Cheetah 15K.5 and Barracuda presets.
+//! * [`state`] — the five-state power machine
+//!   ([`state::DiskPowerState`]) with a legality table.
+//! * [`energy`] — [`energy::EnergyMeter`]: power × time integration plus
+//!   lump transition energies, spin-cycle counters, state-time breakdowns.
+//! * [`policy`] — when to spin down: [`policy::AlwaysOn`],
+//!   [`policy::FixedThreshold`] (2CPM), [`policy::AdaptiveThreshold`]
+//!   (ablation).
+//! * [`queue`] — per-disk request queues with FCFS / SSTF / elevator
+//!   disciplines ([`queue::QueueDiscipline`]).
+//! * [`disk`] — [`disk::Disk`]: the passive state machine the system
+//!   simulator drives through [`disk::Directive`]s.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod energy;
+pub mod mechanics;
+pub mod policy;
+pub mod power;
+pub mod queue;
+pub mod state;
+
+pub use disk::{Directive, Disk, DiskEvent, DiskRequest, Outcome};
+pub use energy::EnergyMeter;
+pub use mechanics::{DiskGeometry, Mechanics};
+pub use policy::{AdaptiveThreshold, AlwaysOn, FixedThreshold, IdlePolicy};
+pub use power::{PowerParams, PowerParamsError};
+pub use queue::{QueueDiscipline, RequestQueue};
+pub use state::DiskPowerState;

@@ -1,0 +1,287 @@
+//! Mechanical service-time model — the part of DiskSim this reproduction
+//! actually needs.
+//!
+//! The paper treats per-request I/O time (milliseconds) as negligible next
+//! to power-management timescales (seconds), but still runs requests through
+//! DiskSim so that queueing and sub-100 ms response times are realistic
+//! (Fig. 12's left half). We model the three classical components:
+//!
+//! * **seek** — a three-coefficient curve `a + b·√d + c·d` over the seek
+//!   distance fraction `d ∈ [0,1]`, calibrated from track-to-track, average
+//!   and full-stroke seek times;
+//! * **rotational latency** — uniform in `[0, rotation period)`;
+//! * **transfer** — request size over the sustained media rate.
+
+use spindown_sim::rng::SimRng;
+use spindown_sim::time::SimDuration;
+
+/// Static description of a disk's mechanics.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_disk::mechanics::DiskGeometry;
+///
+/// let g = DiskGeometry::cheetah_15k5();
+/// assert_eq!(g.rpm, 15_000.0);
+/// // Full rotation at 15k RPM takes 4 ms.
+/// assert!((g.rotation_period_s() - 0.004).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskGeometry {
+    /// Spindle speed, revolutions per minute.
+    pub rpm: f64,
+    /// Track-to-track (minimum) seek time, seconds.
+    pub seek_track_s: f64,
+    /// Average seek time, seconds (defined at one third of full stroke).
+    pub seek_avg_s: f64,
+    /// Full-stroke (maximum) seek time, seconds.
+    pub seek_full_s: f64,
+    /// Sustained media transfer rate, bytes per second.
+    pub transfer_rate_bps: f64,
+    /// Addressable capacity, bytes. Seek distance is modelled as LBA
+    /// distance over capacity.
+    pub capacity_bytes: u64,
+}
+
+impl DiskGeometry {
+    /// Seagate Cheetah 15K.5 enterprise disk — the model simulated in the
+    /// paper's experiments (§4): 15 000 RPM, ~3.5 ms average seek,
+    /// ~125 MB/s sustained transfer, 300 GB.
+    pub fn cheetah_15k5() -> Self {
+        DiskGeometry {
+            rpm: 15_000.0,
+            seek_track_s: 0.0005,
+            seek_avg_s: 0.0035,
+            seek_full_s: 0.008,
+            transfer_rate_bps: 125.0e6,
+            capacity_bytes: 300_000_000_000,
+        }
+    }
+
+    /// Seagate Barracuda-class 7200 RPM nearline disk.
+    pub fn barracuda_7200() -> Self {
+        DiskGeometry {
+            rpm: 7_200.0,
+            seek_track_s: 0.001,
+            seek_avg_s: 0.0085,
+            seek_full_s: 0.020,
+            transfer_rate_bps: 78.0e6,
+            capacity_bytes: 750_000_000_000,
+        }
+    }
+
+    /// One full platter rotation, seconds.
+    pub fn rotation_period_s(&self) -> f64 {
+        60.0 / self.rpm
+    }
+
+    /// Expected (mean) rotational latency: half a rotation, seconds.
+    pub fn avg_rotational_latency_s(&self) -> f64 {
+        self.rotation_period_s() / 2.0
+    }
+}
+
+/// Deterministic-given-seed mechanical service-time model for one disk.
+///
+/// Tracks head position (as the LBA of the last access) so consecutive
+/// requests to nearby blocks seek less — sequential workloads are rewarded
+/// exactly as on real hardware.
+#[derive(Debug, Clone)]
+pub struct Mechanics {
+    geometry: DiskGeometry,
+    // Seek curve coefficients for seek(d) = a + b*sqrt(d) + c*d, d in (0,1].
+    seek_a: f64,
+    seek_b: f64,
+    seek_c: f64,
+    head_lba: u64,
+    rng: SimRng,
+}
+
+impl Mechanics {
+    /// Builds the model, fitting the seek curve to the geometry's three
+    /// calibration points:
+    ///
+    /// * `seek(0+) = seek_track_s`
+    /// * `seek(1/3) = seek_avg_s`
+    /// * `seek(1)  = seek_full_s`
+    pub fn new(geometry: DiskGeometry, rng: SimRng) -> Self {
+        // Solve for a, b, c:
+        //   a                      = t   (track-to-track, d -> 0)
+        //   a + b/sqrt(3) + c/3    = avg
+        //   a + b + c              = full
+        let t = geometry.seek_track_s;
+        let avg = geometry.seek_avg_s;
+        let full = geometry.seek_full_s;
+        let s3 = 1.0 / 3.0f64.sqrt();
+        // Two equations in b, c:
+        //   b*s3 + c/3 = avg - t
+        //   b + c      = full - t
+        let rhs1 = avg - t;
+        let rhs2 = full - t;
+        let det = s3 * 1.0 - (1.0 / 3.0);
+        let b = (rhs1 - rhs2 / 3.0) / det;
+        let c = rhs2 - b;
+        Mechanics {
+            geometry,
+            seek_a: t,
+            seek_b: b,
+            seek_c: c,
+            head_lba: 0,
+            rng,
+        }
+    }
+
+    /// The geometry this model was built from.
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    /// The LBA the head is currently positioned after (the end of the
+    /// last transfer). Queue disciplines use this to estimate seek
+    /// distances.
+    pub fn head_lba(&self) -> u64 {
+        self.head_lba
+    }
+
+    /// Seek time for a seek distance expressed as a fraction of the full
+    /// stroke. Zero distance costs nothing (same-track access).
+    pub fn seek_time_s(&self, distance_frac: f64) -> f64 {
+        let d = distance_frac.clamp(0.0, 1.0);
+        if d == 0.0 {
+            return 0.0;
+        }
+        (self.seek_a + self.seek_b * d.sqrt() + self.seek_c * d).max(0.0)
+    }
+
+    /// Service time for a request at `lba` of `size_bytes`, advancing the
+    /// head. Rotational latency is sampled uniformly in
+    /// `[0, rotation period)` from the model's own deterministic stream.
+    pub fn service_time(&mut self, lba: u64, size_bytes: u64) -> SimDuration {
+        let cap = self.geometry.capacity_bytes.max(1);
+        let dist = self.head_lba.abs_diff(lba).min(cap);
+        let d = dist as f64 / cap as f64;
+        let seek = self.seek_time_s(d);
+        let rot = self.rng.next_f64() * self.geometry.rotation_period_s();
+        let xfer = size_bytes as f64 / self.geometry.transfer_rate_bps;
+        self.head_lba = lba.saturating_add(size_bytes);
+        SimDuration::from_secs_f64(seek + rot + xfer)
+    }
+
+    /// Expected service time for a random request of `size_bytes` —
+    /// average seek + half rotation + transfer. Used by the analytic
+    /// offline evaluator where per-request simulation is skipped.
+    pub fn expected_service_time(&self, size_bytes: u64) -> SimDuration {
+        let s = self.geometry.seek_avg_s
+            + self.geometry.avg_rotational_latency_s()
+            + size_bytes as f64 / self.geometry.transfer_rate_bps;
+        SimDuration::from_secs_f64(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mech() -> Mechanics {
+        Mechanics::new(DiskGeometry::cheetah_15k5(), SimRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn seek_curve_hits_calibration_points() {
+        let m = mech();
+        let g = m.geometry().clone();
+        // d -> 0 gives approximately track-to-track time.
+        assert!((m.seek_time_s(1e-12) - g.seek_track_s).abs() < 1e-6);
+        assert!((m.seek_time_s(1.0 / 3.0) - g.seek_avg_s).abs() < 1e-9);
+        assert!((m.seek_time_s(1.0) - g.seek_full_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seek_curve_is_monotone() {
+        let m = mech();
+        let mut prev = 0.0;
+        for i in 1..=100 {
+            let t = m.seek_time_s(i as f64 / 100.0);
+            assert!(t >= prev, "seek not monotone at {i}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn zero_distance_seek_is_free() {
+        let m = mech();
+        assert_eq!(m.seek_time_s(0.0), 0.0);
+    }
+
+    #[test]
+    fn rotation_period() {
+        let g = DiskGeometry::cheetah_15k5();
+        assert!((g.rotation_period_s() - 0.004).abs() < 1e-12);
+        assert!((g.avg_rotational_latency_s() - 0.002).abs() < 1e-12);
+        let b = DiskGeometry::barracuda_7200();
+        assert!((b.rotation_period_s() - 60.0 / 7200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_time_is_milliseconds_scale() {
+        let mut m = mech();
+        for i in 0..1000u64 {
+            let t = m.service_time(i * 1_000_000, 512 * 1024).as_secs_f64();
+            // 512 KB request on a Cheetah: bounded by full seek + rotation
+            // + transfer ≈ 8 + 4 + 4.2 ms.
+            assert!(t > 0.0 && t < 0.020, "service time {t}");
+        }
+    }
+
+    #[test]
+    fn sequential_access_is_faster_than_random() {
+        let mut seq = mech();
+        let mut rnd = mech();
+        let mut rng = SimRng::seed_from_u64(9);
+        let n = 2000;
+        let mut t_seq = 0.0;
+        let mut t_rnd = 0.0;
+        let mut lba = 0u64;
+        for _ in 0..n {
+            t_seq += seq.service_time(lba, 64 * 1024).as_secs_f64();
+            lba += 64 * 1024;
+            let r = rng.next_below(DiskGeometry::cheetah_15k5().capacity_bytes);
+            t_rnd += rnd.service_time(r, 64 * 1024).as_secs_f64();
+        }
+        assert!(
+            t_seq < t_rnd * 0.8,
+            "sequential {t_seq} not faster than random {t_rnd}"
+        );
+    }
+
+    #[test]
+    fn service_time_is_deterministic_per_seed() {
+        let mut a = mech();
+        let mut b = mech();
+        for i in 0..100u64 {
+            assert_eq!(
+                a.service_time(i * 7_919, 4096),
+                b.service_time(i * 7_919, 4096)
+            );
+        }
+    }
+
+    #[test]
+    fn expected_service_time_matches_components() {
+        let m = mech();
+        let e = m.expected_service_time(512 * 1024).as_secs_f64();
+        let g = DiskGeometry::cheetah_15k5();
+        let want =
+            g.seek_avg_s + g.avg_rotational_latency_s() + (512.0 * 1024.0) / g.transfer_rate_bps;
+        // SimDuration rounds to whole microseconds.
+        assert!((e - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lba_past_capacity_clamps() {
+        let mut m = mech();
+        let t = m.service_time(u64::MAX, 4096).as_secs_f64();
+        assert!(t < 0.020, "clamped seek still bounded: {t}");
+    }
+}

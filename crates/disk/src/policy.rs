@@ -1,0 +1,236 @@
+//! Power-management policies: when does an idle disk spin down?
+//!
+//! The paper's storage system uses **2CPM** — spin down after a fixed
+//! idleness threshold equal to the breakeven time `TB` — which is
+//! 2-competitive against the offline optimum (Irani et al. \[11\]). This
+//! module also ships an always-on policy (the normalization baseline of
+//! Fig. 6) and an adaptive-threshold policy used by the ablation benches.
+
+use spindown_sim::time::{SimDuration, SimTime};
+
+use crate::power::PowerParams;
+
+/// Decides how long a disk may sit idle before being spun down.
+///
+/// Policies are stateful so that adaptive implementations can learn from
+/// the arrival process; [`IdlePolicy::on_request`] is invoked on every
+/// request the disk receives.
+pub trait IdlePolicy: std::fmt::Debug + Send {
+    /// Called when the disk enters the idle state at `now`. Returns the
+    /// idle duration after which the disk should spin down, or `None` to
+    /// keep it spinning indefinitely.
+    fn idle_timeout(&mut self, now: SimTime) -> Option<SimDuration>;
+
+    /// Called whenever the disk receives a request (idle period ended).
+    fn on_request(&mut self, _now: SimTime) {}
+
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Never spin down — the paper's "always-on" baseline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AlwaysOn;
+
+impl IdlePolicy for AlwaysOn {
+    fn idle_timeout(&mut self, _now: SimTime) -> Option<SimDuration> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "always-on"
+    }
+}
+
+/// 2CPM: spin down after a fixed threshold (the breakeven time by default).
+#[derive(Debug, Clone)]
+pub struct FixedThreshold {
+    threshold: SimDuration,
+}
+
+impl FixedThreshold {
+    /// Fixed threshold of exactly `threshold`.
+    pub fn new(threshold: SimDuration) -> Self {
+        FixedThreshold { threshold }
+    }
+
+    /// The canonical 2CPM configuration: threshold = breakeven time
+    /// `TB = E_up/down / P_I` derived from `params`.
+    pub fn breakeven(params: &PowerParams) -> Self {
+        FixedThreshold {
+            threshold: params.breakeven(),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> SimDuration {
+        self.threshold
+    }
+}
+
+impl IdlePolicy for FixedThreshold {
+    fn idle_timeout(&mut self, _now: SimTime) -> Option<SimDuration> {
+        Some(self.threshold)
+    }
+
+    fn name(&self) -> &'static str {
+        "2cpm"
+    }
+}
+
+/// Adaptive threshold (ablation, not in the paper): keeps an exponentially
+/// weighted average of observed idle-period lengths and spins down after
+/// `scale ×` that average, clamped to `[min, max]`.
+///
+/// Intuition: if recent idle periods were short, waiting longer avoids
+/// wasted spin cycles; if they were long, spinning down sooner saves idle
+/// energy.
+#[derive(Debug, Clone)]
+pub struct AdaptiveThreshold {
+    avg_idle_s: f64,
+    alpha: f64,
+    scale: f64,
+    min: SimDuration,
+    max: SimDuration,
+    idle_since: Option<SimTime>,
+}
+
+impl AdaptiveThreshold {
+    /// Creates the policy with smoothing factor `alpha ∈ (0,1]`, threshold
+    /// multiplier `scale`, and clamping bounds. The initial average is the
+    /// midpoint of the bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`, `scale` is not positive, or
+    /// `min > max`.
+    pub fn new(alpha: f64, scale: f64, min: SimDuration, max: SimDuration) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        assert!(scale > 0.0, "scale must be positive");
+        assert!(min <= max, "min must not exceed max");
+        AdaptiveThreshold {
+            avg_idle_s: (min.as_secs_f64() + max.as_secs_f64()) / 2.0,
+            alpha,
+            scale,
+            min,
+            max,
+            idle_since: None,
+        }
+    }
+
+    /// Current smoothed idle-period estimate, seconds.
+    pub fn estimate_s(&self) -> f64 {
+        self.avg_idle_s
+    }
+}
+
+impl IdlePolicy for AdaptiveThreshold {
+    fn idle_timeout(&mut self, now: SimTime) -> Option<SimDuration> {
+        self.idle_since = Some(now);
+        let t = SimDuration::from_secs_f64(self.avg_idle_s * self.scale);
+        Some(t.clamp(self.min, self.max))
+    }
+
+    fn on_request(&mut self, now: SimTime) {
+        if let Some(since) = self.idle_since.take() {
+            let observed = now.saturating_since(since).as_secs_f64();
+            self.avg_idle_s = self.alpha * observed + (1.0 - self.alpha) * self.avg_idle_s;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_never_times_out() {
+        let mut p = AlwaysOn;
+        assert_eq!(p.idle_timeout(SimTime::ZERO), None);
+        assert_eq!(p.name(), "always-on");
+    }
+
+    #[test]
+    fn fixed_threshold_is_constant() {
+        let mut p = FixedThreshold::new(SimDuration::from_secs(7));
+        assert_eq!(
+            p.idle_timeout(SimTime::ZERO),
+            Some(SimDuration::from_secs(7))
+        );
+        assert_eq!(
+            p.idle_timeout(SimTime::from_secs(1000)),
+            Some(SimDuration::from_secs(7))
+        );
+        assert_eq!(p.threshold(), SimDuration::from_secs(7));
+    }
+
+    #[test]
+    fn breakeven_threshold_matches_params() {
+        let params = PowerParams::barracuda();
+        let mut p = FixedThreshold::breakeven(&params);
+        assert_eq!(p.idle_timeout(SimTime::ZERO), Some(params.breakeven()));
+        assert_eq!(p.name(), "2cpm");
+    }
+
+    #[test]
+    fn adaptive_learns_short_idle_periods() {
+        let mut p = AdaptiveThreshold::new(
+            0.5,
+            1.0,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(100),
+        );
+        let initial = p.estimate_s();
+        // Repeatedly observe 2-second idle periods.
+        let mut now = SimTime::ZERO;
+        for _ in 0..20 {
+            p.idle_timeout(now);
+            now += SimDuration::from_secs(2);
+            p.on_request(now);
+        }
+        assert!(p.estimate_s() < initial);
+        assert!((p.estimate_s() - 2.0).abs() < 0.1, "est {}", p.estimate_s());
+    }
+
+    #[test]
+    fn adaptive_clamps_to_bounds() {
+        let mut p = AdaptiveThreshold::new(
+            1.0,
+            1.0,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(10),
+        );
+        // Force the average very low.
+        p.idle_timeout(SimTime::ZERO);
+        p.on_request(SimTime::from_millis(1));
+        let t = p.idle_timeout(SimTime::from_secs(1)).unwrap();
+        assert_eq!(t, SimDuration::from_secs(5));
+        // Force it very high.
+        p.on_request(SimTime::from_secs(10_000));
+        let t = p.idle_timeout(SimTime::from_secs(10_000)).unwrap();
+        assert_eq!(t, SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn adaptive_ignores_request_without_idle() {
+        let mut p = AdaptiveThreshold::new(
+            0.5,
+            1.0,
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(100),
+        );
+        let before = p.estimate_s();
+        p.on_request(SimTime::from_secs(50));
+        assert_eq!(p.estimate_s(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn adaptive_rejects_bad_alpha() {
+        AdaptiveThreshold::new(0.0, 1.0, SimDuration::ZERO, SimDuration::MAX);
+    }
+}

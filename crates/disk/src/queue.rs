@@ -1,0 +1,184 @@
+//! Per-disk request queues with selectable service disciplines.
+//!
+//! DiskSim — the simulator this crate substitutes for — models the drive's
+//! internal command scheduling. Three classical disciplines are provided:
+//!
+//! * **FCFS** — first come, first served (the default; what the paper's
+//!   analysis assumes);
+//! * **SSTF** — shortest seek time first: serve the queued request whose
+//!   LBA is closest to the head;
+//! * **Elevator** (SCAN) — serve requests in the current sweep direction,
+//!   reversing at the ends.
+//!
+//! SSTF and SCAN reduce mechanical positioning time on deep queues at the
+//! price of fairness; the `scheduling` ablation bench quantifies the
+//! effect on response time.
+
+use std::collections::VecDeque;
+
+use crate::disk::DiskRequest;
+
+/// Which request the drive services next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueDiscipline {
+    /// First come, first served.
+    #[default]
+    Fcfs,
+    /// Shortest seek time first (closest LBA to the head).
+    Sstf,
+    /// Elevator / SCAN: sweep up, then down.
+    Elevator,
+}
+
+/// A disk's pending-request queue.
+#[derive(Debug, Clone)]
+pub struct RequestQueue {
+    discipline: QueueDiscipline,
+    items: VecDeque<DiskRequest>,
+    /// Elevator sweep direction: `true` = ascending LBAs.
+    ascending: bool,
+}
+
+impl RequestQueue {
+    /// Creates an empty queue with the given discipline.
+    pub fn new(discipline: QueueDiscipline) -> Self {
+        RequestQueue {
+            discipline,
+            items: VecDeque::new(),
+            ascending: true,
+        }
+    }
+
+    /// The configured discipline.
+    pub fn discipline(&self) -> QueueDiscipline {
+        self.discipline
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Enqueues a request (arrival order is retained for FCFS).
+    pub fn push(&mut self, req: DiskRequest) {
+        self.items.push_back(req);
+    }
+
+    /// Removes and returns the next request to service, given the current
+    /// head position.
+    pub fn pop_next(&mut self, head_lba: u64) -> Option<DiskRequest> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let idx = match self.discipline {
+            QueueDiscipline::Fcfs => 0,
+            QueueDiscipline::Sstf => self
+                .items
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| r.lba.abs_diff(head_lba))
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            QueueDiscipline::Elevator => {
+                // Nearest request in the sweep direction; reverse if none.
+                let pick = |ascending: bool, items: &VecDeque<DiskRequest>| {
+                    items
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| {
+                            if ascending {
+                                r.lba >= head_lba
+                            } else {
+                                r.lba <= head_lba
+                            }
+                        })
+                        .min_by_key(|(_, r)| r.lba.abs_diff(head_lba))
+                        .map(|(i, _)| i)
+                };
+                match pick(self.ascending, &self.items) {
+                    Some(i) => i,
+                    None => {
+                        self.ascending = !self.ascending;
+                        pick(self.ascending, &self.items).expect("non-empty queue")
+                    }
+                }
+            }
+        };
+        self.items.remove(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, lba: u64) -> DiskRequest {
+        DiskRequest {
+            id,
+            lba,
+            size: 4096,
+        }
+    }
+
+    #[test]
+    fn fcfs_preserves_arrival_order() {
+        let mut q = RequestQueue::new(QueueDiscipline::Fcfs);
+        for (id, lba) in [(1, 500), (2, 10), (3, 900)] {
+            q.push(req(id, lba));
+        }
+        assert_eq!(q.len(), 3);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_next(0).map(|r| r.id)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sstf_picks_closest_to_head() {
+        let mut q = RequestQueue::new(QueueDiscipline::Sstf);
+        for (id, lba) in [(1, 1000), (2, 90), (3, 500)] {
+            q.push(req(id, lba));
+        }
+        // Head at 100: closest is lba 90 (id 2), then 500, then 1000.
+        assert_eq!(q.pop_next(100).unwrap().id, 2);
+        assert_eq!(q.pop_next(90).unwrap().id, 3);
+        assert_eq!(q.pop_next(500).unwrap().id, 1);
+    }
+
+    #[test]
+    fn elevator_sweeps_then_reverses() {
+        let mut q = RequestQueue::new(QueueDiscipline::Elevator);
+        for (id, lba) in [(1, 50), (2, 150), (3, 300), (4, 20)] {
+            q.push(req(id, lba));
+        }
+        // Head at 100 sweeping up: 150, 300; then reverse: 50, 20.
+        assert_eq!(q.pop_next(100).unwrap().id, 2);
+        assert_eq!(q.pop_next(150).unwrap().id, 3);
+        assert_eq!(q.pop_next(300).unwrap().id, 1);
+        assert_eq!(q.pop_next(50).unwrap().id, 4);
+    }
+
+    #[test]
+    fn elevator_handles_equal_lba_as_in_direction() {
+        let mut q = RequestQueue::new(QueueDiscipline::Elevator);
+        q.push(req(1, 100));
+        assert_eq!(q.pop_next(100).unwrap().id, 1);
+    }
+
+    #[test]
+    fn pop_from_empty_is_none() {
+        let mut q = RequestQueue::new(QueueDiscipline::Sstf);
+        assert!(q.pop_next(0).is_none());
+    }
+
+    #[test]
+    fn default_is_fcfs() {
+        assert_eq!(QueueDiscipline::default(), QueueDiscipline::Fcfs);
+        let q = RequestQueue::new(QueueDiscipline::default());
+        assert_eq!(q.discipline(), QueueDiscipline::Fcfs);
+    }
+}

@@ -1,0 +1,165 @@
+//! Disk power-state machine: the five states of the paper's Figs. 9/17 and
+//! the legal transitions between them.
+
+use std::fmt;
+
+/// The power state of a disk.
+///
+/// The discriminant values index the per-state arrays used by the energy
+/// meter and the metrics layer; [`DiskPowerState::COUNT`] gives the array
+/// size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum DiskPowerState {
+    /// Spinning and servicing a request.
+    Active = 0,
+    /// Spinning, ready, but no request in service.
+    Idle = 1,
+    /// Spun down; cannot service requests.
+    Standby = 2,
+    /// Transitioning standby → idle (takes `T_up`).
+    SpinningUp = 3,
+    /// Transitioning idle → standby (takes `T_down`).
+    SpinningDown = 4,
+}
+
+impl DiskPowerState {
+    /// Number of states (for per-state arrays).
+    pub const COUNT: usize = 5;
+
+    /// All states, in discriminant order.
+    pub const ALL: [DiskPowerState; Self::COUNT] = [
+        DiskPowerState::Active,
+        DiskPowerState::Idle,
+        DiskPowerState::Standby,
+        DiskPowerState::SpinningUp,
+        DiskPowerState::SpinningDown,
+    ];
+
+    /// Array index of this state.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short human-readable label (matches the paper's figure legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            DiskPowerState::Active => "active",
+            DiskPowerState::Idle => "idle",
+            DiskPowerState::Standby => "standby",
+            DiskPowerState::SpinningUp => "spin-up",
+            DiskPowerState::SpinningDown => "spin-down",
+        }
+    }
+
+    /// `true` if the platters are spinning and the disk can start a request
+    /// immediately.
+    pub fn is_ready(self) -> bool {
+        matches!(self, DiskPowerState::Active | DiskPowerState::Idle)
+    }
+
+    /// `true` in the two transitional states.
+    pub fn is_transitioning(self) -> bool {
+        matches!(
+            self,
+            DiskPowerState::SpinningUp | DiskPowerState::SpinningDown
+        )
+    }
+
+    /// Whether a direct transition `self → next` is physically legal.
+    ///
+    /// The machine is:
+    ///
+    /// ```text
+    /// Standby ──> SpinningUp ──> Idle <──> Active
+    ///    ^                        │
+    ///    └──── SpinningDown <─────┘
+    /// ```
+    ///
+    /// (`SpinningUp → Active` is also allowed: a request queued during
+    /// spin-up starts service the moment the platters are ready.)
+    pub fn can_transition_to(self, next: DiskPowerState) -> bool {
+        use DiskPowerState::*;
+        matches!(
+            (self, next),
+            (Standby, SpinningUp)
+                | (SpinningUp, Idle)
+                | (SpinningUp, Active)
+                | (Idle, Active)
+                | (Active, Idle)
+                | (Idle, SpinningDown)
+                | (SpinningDown, Standby)
+        )
+    }
+}
+
+impl fmt::Display for DiskPowerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DiskPowerState::*;
+
+    #[test]
+    fn indices_are_dense_and_distinct() {
+        let mut seen = [false; DiskPowerState::COUNT];
+        for s in DiskPowerState::ALL {
+            assert!(!seen[s.index()], "duplicate index {}", s.index());
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn ready_states() {
+        assert!(Active.is_ready());
+        assert!(Idle.is_ready());
+        assert!(!Standby.is_ready());
+        assert!(!SpinningUp.is_ready());
+        assert!(!SpinningDown.is_ready());
+    }
+
+    #[test]
+    fn transitioning_states() {
+        assert!(SpinningUp.is_transitioning());
+        assert!(SpinningDown.is_transitioning());
+        assert!(!Idle.is_transitioning());
+    }
+
+    #[test]
+    fn legal_transition_table() {
+        let legal = [
+            (Standby, SpinningUp),
+            (SpinningUp, Idle),
+            (SpinningUp, Active),
+            (Idle, Active),
+            (Active, Idle),
+            (Idle, SpinningDown),
+            (SpinningDown, Standby),
+        ];
+        for a in DiskPowerState::ALL {
+            for b in DiskPowerState::ALL {
+                let expect = legal.contains(&(a, b));
+                assert_eq!(a.can_transition_to(b), expect, "{a} -> {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_transitions() {
+        for s in DiskPowerState::ALL {
+            assert!(!s.can_transition_to(s));
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Active.to_string(), "active");
+        assert_eq!(SpinningDown.to_string(), "spin-down");
+    }
+}

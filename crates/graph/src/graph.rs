@@ -1,0 +1,226 @@
+//! Undirected node-weighted graph.
+//!
+//! This is the data structure the offline scheduler's conflict graph is
+//! built on (paper §3.1.2, Fig. 4): one node per candidate energy saving
+//! `X(i,j,k)`, one edge per violated constraint pair.
+
+/// Node identifier (dense, `0..n`).
+pub type NodeId = u32;
+
+/// An undirected graph with `f64` node weights and deduplicated adjacency
+/// lists.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_graph::graph::Graph;
+///
+/// let mut g = Graph::new(3);
+/// g.set_weight(0, 5.0);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    weights: Vec<f64>,
+    adj: Vec<Vec<NodeId>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes of weight 1.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            weights: vec![1.0; n],
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Creates a graph from explicit node weights.
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        let n = weights.len();
+        Graph {
+            weights,
+            adj: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Appends a new node with the given weight, returning its id.
+    pub fn add_node(&mut self, weight: f64) -> NodeId {
+        self.weights.push(weight);
+        self.adj.push(Vec::new());
+        (self.weights.len() - 1) as NodeId
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops and duplicate edges
+    /// are ignored. Returns `true` if the edge was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(
+            (u as usize) < self.len() && (v as usize) < self.len(),
+            "edge endpoint out of range"
+        );
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.edges += 1;
+        true
+    }
+
+    /// `true` if the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.adj[u as usize].len() <= self.adj[v as usize].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].contains(&b)
+    }
+
+    /// Weight of node `v`.
+    pub fn weight(&self, v: NodeId) -> f64 {
+        self.weights[v as usize]
+    }
+
+    /// Sets the weight of node `v`.
+    pub fn set_weight(&mut self, v: NodeId, w: f64) {
+        self.weights[v as usize] = w;
+    }
+
+    /// All node weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Sum of all node weights.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Sum of weights over `nodes`.
+    pub fn set_weight_sum(&self, nodes: &[NodeId]) -> f64 {
+        nodes.iter().map(|&v| self.weight(v)).sum()
+    }
+
+    /// `true` if `nodes` is an independent set (pairwise non-adjacent,
+    /// no duplicates).
+    pub fn is_independent_set(&self, nodes: &[NodeId]) -> bool {
+        let mut mark = vec![false; self.len()];
+        for &v in nodes {
+            if (v as usize) >= self.len() || mark[v as usize] {
+                return false;
+            }
+            mark[v as usize] = true;
+        }
+        for &v in nodes {
+            if self.adj[v as usize].iter().any(|&u| mark[u as usize]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = Graph::new(4);
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(1, 0), "duplicate edge must be ignored");
+        assert!(!g.add_edge(2, 2), "self-loop must be ignored");
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn weights() {
+        let mut g = Graph::with_weights(vec![1.0, 2.0, 3.0]);
+        assert_eq!(g.total_weight(), 6.0);
+        g.set_weight(0, 10.0);
+        assert_eq!(g.weight(0), 10.0);
+        assert_eq!(g.set_weight_sum(&[0, 2]), 13.0);
+    }
+
+    #[test]
+    fn add_node_extends() {
+        let mut g = Graph::new(1);
+        let v = g.add_node(7.0);
+        assert_eq!(v, 1);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.weight(v), 7.0);
+        g.add_edge(0, v);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn independent_set_checks() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!(g.is_independent_set(&[]));
+        assert!(g.is_independent_set(&[0, 2]));
+        assert!(g.is_independent_set(&[1, 3]));
+        assert!(!g.is_independent_set(&[0, 1]));
+        assert!(!g.is_independent_set(&[0, 0]), "duplicates rejected");
+        assert!(!g.is_independent_set(&[9]), "out of range rejected");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edge_bounds_checked() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.total_weight(), 0.0);
+        assert!(g.is_independent_set(&[]));
+    }
+}

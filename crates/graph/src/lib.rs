@@ -1,0 +1,23 @@
+//! # spindown-graph
+//!
+//! Graph-algorithm substrate for the ICDCS 2011 reproduction: the two
+//! NP-complete problems the paper reduces energy-aware scheduling to.
+//!
+//! * [`graph`] — node-weighted undirected [`graph::Graph`] (the `X(i,j,k)`
+//!   conflict graph of paper §3.1).
+//! * [`mwis`] — maximum-weight-independent-set solvers: the paper's GMIN
+//!   greedy ([`mwis::gwmin`], Sakai et al. \[22\]), the stronger
+//!   [`mwis::gwmin2`], a [`mwis::local_search`] improver, and an
+//!   [`mwis::exact`] branch-and-bound oracle.
+//! * [`setcover`] — weighted set cover for the batch scheduler (§3.2):
+//!   greedy `H_n`-approximation and an exact oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod mwis;
+pub mod setcover;
+
+pub use graph::{Graph, NodeId};
+pub use setcover::{Cover, SetCoverInstance, WeightedSet};

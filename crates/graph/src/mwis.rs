@@ -1,0 +1,498 @@
+//! Maximum-weight-independent-set solvers.
+//!
+//! The paper's offline scheduler (§3.1) reduces energy-aware scheduling to
+//! MWIS on the `X(i,j,k)` conflict graph and solves it with the **GMIN**
+//! greedy of Sakai, Togasaki & Yamazaki \[22\]. This module provides:
+//!
+//! * [`gwmin`] — the degree-ratio greedy the paper uses
+//!   (pick `argmax w(v) / (deg(v)+1)`), with the
+//!   `Σ w(IS) ≥ Σ_v w(v)/(deg(v)+1)` guarantee of \[22\];
+//! * [`gwmin2`] — the weight-ratio variant
+//!   (pick `argmax w(v) / w(N(v) ∪ {v})`), often stronger on weighted
+//!   instances;
+//! * [`local_search`] — add-moves plus (1,2)-swap improvement on top of any
+//!   starting set;
+//! * [`exact`] — branch-and-bound, the optimality oracle for tests and for
+//!   the paper's toy instances (Fig. 4).
+//!
+//! All solvers return node lists sorted ascending, so results are
+//! deterministic and directly comparable.
+
+use crate::graph::{Graph, NodeId};
+
+/// GWMIN greedy of Sakai et al.: repeatedly select the alive vertex
+/// maximizing `w(v) / (deg(v)+1)` (degree in the *remaining* graph), add it
+/// to the independent set, and delete it and its neighbors.
+///
+/// Runs in `O((n + m) log n)` using a lazy max-heap keyed by the ratio.
+/// Ties break toward the smaller node id, making the result deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_graph::graph::Graph;
+/// use spindown_graph::mwis::gwmin;
+///
+/// // Path 0-1-2 with a heavy middle: greedy takes the middle alone.
+/// let mut g = Graph::with_weights(vec![1.0, 10.0, 1.0]);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(gwmin(&g), vec![1]);
+/// ```
+pub fn gwmin(g: &Graph) -> Vec<NodeId> {
+    greedy_by(g, |w, deg, _nbr_w| w / (deg as f64 + 1.0))
+}
+
+/// GWMIN2 greedy of Sakai et al.: select the alive vertex maximizing
+/// `w(v) / Σ_{u ∈ N(v) ∪ {v}} w(u)`. Carries the guarantee
+/// `Σ w(IS) ≥ Σ_v w(v)² / w(N(v) ∪ {v})`.
+pub fn gwmin2(g: &Graph) -> Vec<NodeId> {
+    greedy_by(g, |w, _deg, nbr_w| {
+        let denom = w + nbr_w;
+        if denom <= 0.0 {
+            f64::INFINITY
+        } else {
+            w / denom
+        }
+    })
+}
+
+/// Shared engine for the two greedies. `score(weight, alive_degree,
+/// alive_neighbor_weight)` must be non-decreasing as neighbors die, which
+/// both ratios satisfy — that monotonicity is what makes the lazy heap
+/// correct (a stale entry never over-states a node's current score).
+fn greedy_by(g: &Graph, score: impl Fn(f64, usize, f64) -> f64) -> Vec<NodeId> {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry {
+        score: f64,
+        node: NodeId,
+        deg: u32,
+        nbr_w: f64,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Max-heap on score; tie-break toward smaller node id.
+            self.score
+                .partial_cmp(&other.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| other.node.cmp(&self.node))
+        }
+    }
+
+    let n = g.len();
+    let mut alive = vec![true; n];
+    let mut deg: Vec<u32> = (0..n).map(|v| g.degree(v as NodeId) as u32).collect();
+    let mut nbr_w: Vec<f64> = (0..n)
+        .map(|v| {
+            g.neighbors(v as NodeId)
+                .iter()
+                .map(|&u| g.weight(u))
+                .sum::<f64>()
+        })
+        .collect();
+
+    let mut heap = BinaryHeap::with_capacity(n);
+    for v in 0..n {
+        heap.push(Entry {
+            score: score(g.weight(v as NodeId), deg[v] as usize, nbr_w[v]),
+            node: v as NodeId,
+            deg: deg[v],
+            nbr_w: nbr_w[v],
+        });
+    }
+
+    let mut result = Vec::new();
+    while let Some(e) = heap.pop() {
+        let v = e.node as usize;
+        if !alive[v] {
+            continue;
+        }
+        // Stale entry: the node's degree/neighbor-weight changed since this
+        // entry was pushed. A fresh entry was pushed at that change, so
+        // drop this one.
+        if e.deg != deg[v] || e.nbr_w != nbr_w[v] {
+            continue;
+        }
+        result.push(e.node);
+        alive[v] = false;
+        // Kill neighbors; decrement degrees of *their* neighbors.
+        for &u in g.neighbors(e.node) {
+            let u = u as usize;
+            if !alive[u] {
+                continue;
+            }
+            alive[u] = false;
+            for &w2 in g.neighbors(u as NodeId) {
+                let w2 = w2 as usize;
+                if !alive[w2] {
+                    continue;
+                }
+                deg[w2] -= 1;
+                nbr_w[w2] -= g.weight(u as NodeId);
+                heap.push(Entry {
+                    score: score(g.weight(w2 as NodeId), deg[w2] as usize, nbr_w[w2]),
+                    node: w2 as NodeId,
+                    deg: deg[w2],
+                    nbr_w: nbr_w[w2],
+                });
+            }
+        }
+    }
+    result.sort_unstable();
+    result
+}
+
+/// Improves `initial` with two move types until a local optimum:
+///
+/// 1. **add** — insert any vertex with no neighbor in the set;
+/// 2. **(1,2)-swap** — remove one vertex and insert two non-adjacent
+///    vertices from its neighborhood whose combined weight is larger.
+///
+/// Returns a set at least as heavy as `initial`.
+///
+/// # Panics
+///
+/// Panics if `initial` is not an independent set of `g`.
+pub fn local_search(g: &Graph, initial: &[NodeId]) -> Vec<NodeId> {
+    assert!(
+        g.is_independent_set(initial),
+        "local_search requires an independent starting set"
+    );
+    let n = g.len();
+    let mut in_set = vec![false; n];
+    for &v in initial {
+        in_set[v as usize] = true;
+    }
+    // conflicts[v] = number of set members adjacent to v.
+    let mut conflicts = vec![0u32; n];
+    for &v in initial {
+        for &u in g.neighbors(v) {
+            conflicts[u as usize] += 1;
+        }
+    }
+
+    let add = |v: usize, in_set: &mut Vec<bool>, conflicts: &mut Vec<u32>| {
+        in_set[v] = true;
+        for &u in g.neighbors(v as NodeId) {
+            conflicts[u as usize] += 1;
+        }
+    };
+    let remove = |v: usize, in_set: &mut Vec<bool>, conflicts: &mut Vec<u32>| {
+        in_set[v] = false;
+        for &u in g.neighbors(v as NodeId) {
+            conflicts[u as usize] -= 1;
+        }
+    };
+
+    let mut improved = true;
+    while improved {
+        improved = false;
+        // Add moves.
+        for v in 0..n {
+            if !in_set[v] && conflicts[v] == 0 && g.weight(v as NodeId) > 0.0 {
+                add(v, &mut in_set, &mut conflicts);
+                improved = true;
+            }
+        }
+        // (1,2)-swaps.
+        for v in 0..n {
+            if !in_set[v] {
+                continue;
+            }
+            // Candidates: non-members whose only set-conflict is v.
+            let cands: Vec<NodeId> = g
+                .neighbors(v as NodeId)
+                .iter()
+                .copied()
+                .filter(|&u| !in_set[u as usize] && conflicts[u as usize] == 1)
+                .collect();
+            let mut done = false;
+            for (i, &a) in cands.iter().enumerate() {
+                for &b in &cands[i + 1..] {
+                    if !g.has_edge(a, b) && g.weight(a) + g.weight(b) > g.weight(v as NodeId) {
+                        remove(v, &mut in_set, &mut conflicts);
+                        add(a as usize, &mut in_set, &mut conflicts);
+                        add(b as usize, &mut in_set, &mut conflicts);
+                        improved = true;
+                        done = true;
+                        break;
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+    let mut out: Vec<NodeId> = (0..n as u32).filter(|&v| in_set[v as usize]).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Exact MWIS by branch-and-bound. Intended for instances up to a few
+/// dozen nodes (tests, the paper's Fig. 4 example, optimality-gap
+/// ablations); returns `None` if `g` has more than `node_limit` nodes.
+///
+/// Branching: pick the remaining vertex of maximum degree; either exclude
+/// it or include it (removing its closed neighborhood). Bound: current
+/// weight + total remaining weight must beat the incumbent.
+pub fn exact(g: &Graph, node_limit: usize) -> Option<Vec<NodeId>> {
+    if g.len() > node_limit {
+        return None;
+    }
+    let n = g.len();
+    let mut best: Vec<NodeId> = Vec::new();
+    let mut best_w = f64::NEG_INFINITY;
+    let mut current: Vec<NodeId> = Vec::new();
+    let alive: Vec<bool> = vec![true; n];
+
+    fn recurse(
+        g: &Graph,
+        alive: Vec<bool>,
+        current: &mut Vec<NodeId>,
+        cur_w: f64,
+        best: &mut Vec<NodeId>,
+        best_w: &mut f64,
+    ) {
+        // Remaining positive weight as an (admissible) upper bound.
+        let rem: f64 = alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(v, _)| g.weight(v as NodeId).max(0.0))
+            .sum();
+        if cur_w + rem <= *best_w {
+            return;
+        }
+        // Pick the alive vertex of maximum alive-degree.
+        let pick = alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(v, _)| {
+                let d = g
+                    .neighbors(v as NodeId)
+                    .iter()
+                    .filter(|&&u| alive[u as usize])
+                    .count();
+                (d, v)
+            })
+            .max();
+        let Some((deg, v)) = pick else {
+            if cur_w > *best_w {
+                *best_w = cur_w;
+                *best = current.clone();
+            }
+            return;
+        };
+        if deg == 0 {
+            // All remaining vertices are isolated: take every positive one.
+            let mut w = cur_w;
+            let mut taken = Vec::new();
+            for (u, &a) in alive.iter().enumerate() {
+                if a && g.weight(u as NodeId) > 0.0 {
+                    w += g.weight(u as NodeId);
+                    taken.push(u as NodeId);
+                }
+            }
+            if w > *best_w {
+                *best_w = w;
+                let mut sol = current.clone();
+                sol.extend(taken);
+                *best = sol;
+            }
+            return;
+        }
+        // Branch 1: include v.
+        let mut incl = alive.clone();
+        incl[v] = false;
+        for &u in g.neighbors(v as NodeId) {
+            incl[u as usize] = false;
+        }
+        current.push(v as NodeId);
+        recurse(
+            g,
+            incl,
+            current,
+            cur_w + g.weight(v as NodeId),
+            best,
+            best_w,
+        );
+        current.pop();
+        // Branch 2: exclude v.
+        let mut excl = alive;
+        excl[v] = false;
+        recurse(g, excl, current, cur_w, best, best_w);
+    }
+
+    recurse(g, alive, &mut current, 0.0, &mut best, &mut best_w);
+    best.sort_unstable();
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(weights: &[f64]) -> Graph {
+        let mut g = Graph::with_weights(weights.to_vec());
+        for i in 1..weights.len() {
+            g.add_edge((i - 1) as NodeId, i as NodeId);
+        }
+        g
+    }
+
+    fn clique(weights: &[f64]) -> Graph {
+        let mut g = Graph::with_weights(weights.to_vec());
+        for i in 0..weights.len() {
+            for j in (i + 1)..weights.len() {
+                g.add_edge(i as NodeId, j as NodeId);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn gwmin_on_empty_graph() {
+        assert!(gwmin(&Graph::new(0)).is_empty());
+        assert_eq!(gwmin(&Graph::new(3)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clique_yields_heaviest_node() {
+        let g = clique(&[1.0, 5.0, 2.0, 4.0]);
+        assert_eq!(gwmin(&g), vec![1]);
+        assert_eq!(gwmin2(&g), vec![1]);
+        assert_eq!(exact(&g, 64).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn path_alternation() {
+        // Uniform path of 5: optimum is the 3 even vertices.
+        let g = path(&[1.0; 5]);
+        let ex = exact(&g, 64).unwrap();
+        assert_eq!(ex, vec![0, 2, 4]);
+        let gr = gwmin(&g);
+        assert!(g.is_independent_set(&gr));
+        assert_eq!(g.set_weight_sum(&gr), 3.0, "greedy is optimal on paths");
+    }
+
+    #[test]
+    fn exact_beats_or_ties_greedy_on_crafted_instance() {
+        // Star where the center is moderately heavy: greedy w/(d+1) picks
+        // leaves; exact confirms leaves win.
+        let mut g = Graph::with_weights(vec![3.0, 2.0, 2.0, 2.0]);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        let ex = exact(&g, 64).unwrap();
+        assert_eq!(ex, vec![1, 2, 3]);
+        let gr = gwmin(&g);
+        assert!(g.set_weight_sum(&gr) <= g.set_weight_sum(&ex) + 1e-12);
+    }
+
+    #[test]
+    fn gwmin_guarantee_holds() {
+        // Sakai et al.: weight(IS) >= sum_v w(v)/(deg(v)+1).
+        let mut g = Graph::with_weights(vec![4.0, 1.0, 3.0, 2.0, 5.0, 1.0]);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)] {
+            g.add_edge(u, v);
+        }
+        let is = gwmin(&g);
+        assert!(g.is_independent_set(&is));
+        let bound: f64 = (0..g.len())
+            .map(|v| g.weight(v as NodeId) / (g.degree(v as NodeId) as f64 + 1.0))
+            .sum();
+        assert!(g.set_weight_sum(&is) >= bound - 1e-9);
+    }
+
+    #[test]
+    fn local_search_adds_free_vertices() {
+        let g = path(&[1.0; 5]);
+        let improved = local_search(&g, &[]);
+        assert!(g.is_independent_set(&improved));
+        assert_eq!(g.set_weight_sum(&improved), 3.0);
+    }
+
+    #[test]
+    fn local_search_swaps_one_for_two() {
+        // Star: start from {center}, swap should reach the three leaves.
+        let mut g = Graph::with_weights(vec![3.0, 2.0, 2.0, 2.0]);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        let improved = local_search(&g, &[0]);
+        assert_eq!(improved, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "independent starting set")]
+    fn local_search_rejects_dependent_input() {
+        let g = path(&[1.0; 3]);
+        local_search(&g, &[0, 1]);
+    }
+
+    #[test]
+    fn exact_respects_node_limit() {
+        let g = Graph::new(100);
+        assert!(exact(&g, 50).is_none());
+        assert!(exact(&g, 100).is_some());
+    }
+
+    #[test]
+    fn exact_skips_nonpositive_weights() {
+        let mut g = Graph::with_weights(vec![5.0, -2.0, 0.0]);
+        g.add_edge(0, 1);
+        let ex = exact(&g, 64).unwrap();
+        assert_eq!(ex, vec![0], "zero/negative-weight isolated nodes skipped");
+    }
+
+    #[test]
+    fn gwmin2_handles_zero_weights() {
+        let mut g = Graph::with_weights(vec![0.0, 0.0, 1.0]);
+        g.add_edge(0, 1);
+        let is = gwmin2(&g);
+        assert!(g.is_independent_set(&is));
+        assert!(g.set_weight_sum(&is) >= 1.0);
+    }
+
+    #[test]
+    fn solvers_agree_on_paper_fig4_instance() {
+        // The Fig. 4 conflict graph: nodes X(1,2,1)=4, X(1,3,1)=2,
+        // X(2,3,1)=3, X(2,3,2)=3, X(4,6,4)... — see spindown-core's
+        // paper_example tests for the full construction; here we encode
+        // just the conflict structure from the figure:
+        //   X(1,3,1) -- X(2,3,1)   (energy-constraint on r3)
+        //   X(1,3,1) -- X(2,3,2)   (energy-constraint on r3)
+        //   X(2,3,1) -- X(2,3,2)   (energy-constraint on r3 / r2)
+        //   X(1,2,1) -- X(2,3,2)   (schedule-constraint on r2)
+        // Weights per Eq. 3 with TB=5, PI=1:
+        //   X(1,2,1)=5-(2-1)=4, X(1,3,1)=5-(3-1)=3... (paper's weights)
+        let mut g = Graph::with_weights(vec![
+            4.0, // 0: X(1,2,1)
+            2.0, // 1: X(1,3,1)
+            3.0, // 2: X(2,3,1)
+            3.0, // 3: X(2,3,2)
+            4.0, // 4: X(4,6,4) — isolated in the figure
+        ]);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g.add_edge(0, 3);
+        let ex = exact(&g, 64).unwrap();
+        // Paper's Step 3 selects {X(2,3,1), X(1,2,1), X(4,6,4)} = {2,0,4}.
+        assert_eq!(ex, vec![0, 2, 4]);
+        assert_eq!(g.set_weight_sum(&ex), 11.0);
+        let gr = gwmin(&g);
+        assert_eq!(gr, vec![0, 2, 4], "greedy finds the optimum here too");
+    }
+}

@@ -1,0 +1,380 @@
+//! Weighted-set-cover solvers.
+//!
+//! The paper's batch scheduler (§3.2, Theorem 2) maps each scheduling
+//! interval to a weighted set cover: elements are the queued requests, sets
+//! are disks (weighted by the marginal energy of using them, Eq. 5), and
+//! the chosen cover is where the requests go. The greedy
+//! most-cost-effective-set rule used here is the classical `H_n`-factor
+//! approximation the paper cites (§6); [`SetCoverInstance::solve_exact`]
+//! is the optimality oracle for tests and ablations.
+
+/// One candidate set: a weight and the elements it covers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSet {
+    /// Cost of selecting this set (for the batch scheduler: Eq. 5 / Eq. 6
+    /// marginal cost of the disk).
+    pub weight: f64,
+    /// Elements covered, as indices into `0..universe`.
+    pub elements: Vec<u32>,
+}
+
+/// A weighted-set-cover instance over the universe `0..universe`.
+#[derive(Debug, Clone, Default)]
+pub struct SetCoverInstance {
+    universe: usize,
+    sets: Vec<WeightedSet>,
+}
+
+/// A solution: which sets were selected and their combined weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cover {
+    /// Indices of selected sets, ascending.
+    pub sets: Vec<usize>,
+    /// Sum of the selected sets' weights.
+    pub weight: f64,
+}
+
+impl SetCoverInstance {
+    /// Creates an instance over `universe` elements.
+    pub fn new(universe: usize) -> Self {
+        SetCoverInstance {
+            universe,
+            sets: Vec::new(),
+        }
+    }
+
+    /// Adds a candidate set; returns its index. Out-of-range elements and
+    /// duplicates within a set are dropped; negative weights are clamped to
+    /// zero.
+    pub fn add_set(&mut self, weight: f64, elements: impl IntoIterator<Item = u32>) -> usize {
+        let mut elems: Vec<u32> = elements
+            .into_iter()
+            .filter(|&e| (e as usize) < self.universe)
+            .collect();
+        elems.sort_unstable();
+        elems.dedup();
+        self.sets.push(WeightedSet {
+            weight: if weight.is_finite() {
+                weight.max(0.0)
+            } else {
+                0.0
+            },
+            elements: elems,
+        });
+        self.sets.len() - 1
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Candidate sets.
+    pub fn sets(&self) -> &[WeightedSet] {
+        &self.sets
+    }
+
+    /// `true` if `cover` covers every element of the universe.
+    pub fn is_cover(&self, cover: &[usize]) -> bool {
+        let mut covered = vec![false; self.universe];
+        for &s in cover {
+            let Some(set) = self.sets.get(s) else {
+                return false;
+            };
+            for &e in &set.elements {
+                covered[e as usize] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    fn weight_of(&self, cover: &[usize]) -> f64 {
+        cover.iter().map(|&s| self.sets[s].weight).sum()
+    }
+
+    /// Greedy weighted set cover: repeatedly select the set minimizing
+    /// `weight / newly covered` until everything is covered. Returns `None`
+    /// if the universe is not coverable. `H_n`-approximate.
+    ///
+    /// Zero-weight sets have cost-effectiveness 0 and are always taken
+    /// first — exactly the paper's behaviour where already-spinning disks
+    /// (Eq. 5 weight 0) absorb requests before any standby disk is woken.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spindown_graph::setcover::SetCoverInstance;
+    ///
+    /// let mut inst = SetCoverInstance::new(3);
+    /// inst.add_set(1.0, [0, 1]);
+    /// inst.add_set(1.0, [2]);
+    /// inst.add_set(10.0, [0, 1, 2]);
+    /// let cover = inst.solve_greedy().unwrap();
+    /// assert_eq!(cover.sets, vec![0, 1]);
+    /// assert_eq!(cover.weight, 2.0);
+    /// ```
+    pub fn solve_greedy(&self) -> Option<Cover> {
+        let mut covered = vec![false; self.universe];
+        let mut remaining = self.universe;
+        let mut chosen: Vec<usize> = Vec::new();
+        let mut used = vec![false; self.sets.len()];
+
+        while remaining > 0 {
+            let mut best: Option<(f64, usize, usize)> = None; // (ratio, new, idx)
+            for (i, s) in self.sets.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let new = s.elements.iter().filter(|&&e| !covered[e as usize]).count();
+                if new == 0 {
+                    continue;
+                }
+                let ratio = s.weight / new as f64;
+                let better = match best {
+                    None => true,
+                    Some((br, bn, bi)) => {
+                        ratio < br - 1e-15
+                            || ((ratio - br).abs() <= 1e-15 && (new > bn || (new == bn && i < bi)))
+                    }
+                };
+                if better {
+                    best = Some((ratio, new, i));
+                }
+            }
+            let (_, _, idx) = best?;
+            used[idx] = true;
+            chosen.push(idx);
+            for &e in &self.sets[idx].elements {
+                if !covered[e as usize] {
+                    covered[e as usize] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        chosen.sort_unstable();
+        Some(Cover {
+            weight: self.weight_of(&chosen),
+            sets: chosen,
+        })
+    }
+
+    /// Exact minimum-weight cover by branch-and-bound on the lowest-index
+    /// uncovered element. Exponential in the worst case — intended for
+    /// tests and small batches; returns `None` if the universe is not
+    /// coverable or exceeds `element_limit`.
+    pub fn solve_exact(&self, element_limit: usize) -> Option<Cover> {
+        if self.universe > element_limit {
+            return None;
+        }
+        // Pre-index: which sets cover each element?
+        let mut covering: Vec<Vec<usize>> = vec![Vec::new(); self.universe];
+        for (i, s) in self.sets.iter().enumerate() {
+            for &e in &s.elements {
+                covering[e as usize].push(i);
+            }
+        }
+        if covering.iter().any(|c| c.is_empty()) && self.universe > 0 {
+            return None;
+        }
+
+        struct Ctx<'a> {
+            inst: &'a SetCoverInstance,
+            covering: Vec<Vec<usize>>,
+            best_w: f64,
+            best: Option<Vec<usize>>,
+        }
+
+        fn recurse(ctx: &mut Ctx<'_>, covered: &mut [bool], chosen: &mut Vec<usize>, w: f64) {
+            if w >= ctx.best_w {
+                return;
+            }
+            let Some(e) = covered.iter().position(|&c| !c) else {
+                ctx.best_w = w;
+                ctx.best = Some(chosen.clone());
+                return;
+            };
+            // Try each set that covers e (clone-undo covered bitmap).
+            for i in 0..ctx.covering[e].len() {
+                let s = ctx.covering[e][i];
+                if chosen.contains(&s) {
+                    continue;
+                }
+                let newly: Vec<usize> = ctx.inst.sets[s]
+                    .elements
+                    .iter()
+                    .map(|&x| x as usize)
+                    .filter(|&x| !covered[x])
+                    .collect();
+                for &x in &newly {
+                    covered[x] = true;
+                }
+                chosen.push(s);
+                recurse(ctx, covered, chosen, w + ctx.inst.sets[s].weight);
+                chosen.pop();
+                for &x in &newly {
+                    covered[x] = false;
+                }
+            }
+        }
+
+        let mut ctx = Ctx {
+            inst: self,
+            covering,
+            best_w: f64::INFINITY,
+            best: None,
+        };
+        let mut covered = vec![false; self.universe];
+        let mut chosen = Vec::new();
+        recurse(&mut ctx, &mut covered, &mut chosen, 0.0);
+        let mut sets = ctx.best?;
+        sets.sort_unstable();
+        Some(Cover {
+            weight: self.weight_of(&sets),
+            sets,
+        })
+    }
+}
+
+/// The `n`-th harmonic number `H_n = 1 + 1/2 + … + 1/n` — the greedy
+/// algorithm's approximation factor (paper §6).
+pub fn harmonic(n: usize) -> f64 {
+    (1..=n).map(|k| 1.0 / k as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_prefers_free_sets() {
+        let mut inst = SetCoverInstance::new(2);
+        inst.add_set(0.0, [0]);
+        inst.add_set(5.0, [0, 1]);
+        inst.add_set(0.0, [1]);
+        let c = inst.solve_greedy().unwrap();
+        assert_eq!(c.sets, vec![0, 2]);
+        assert_eq!(c.weight, 0.0);
+    }
+
+    #[test]
+    fn greedy_none_when_uncoverable() {
+        let mut inst = SetCoverInstance::new(3);
+        inst.add_set(1.0, [0, 1]);
+        assert!(inst.solve_greedy().is_none());
+        assert!(inst.solve_exact(64).is_none());
+    }
+
+    #[test]
+    fn empty_universe_is_trivially_covered() {
+        let inst = SetCoverInstance::new(0);
+        let c = inst.solve_greedy().unwrap();
+        assert!(c.sets.is_empty());
+        assert_eq!(c.weight, 0.0);
+        let e = inst.solve_exact(64).unwrap();
+        assert!(e.sets.is_empty());
+    }
+
+    #[test]
+    fn exact_finds_cheaper_cover_than_greedy_trap() {
+        // Classic greedy trap: one big set slightly cheaper per element at
+        // first, but two small sets are cheaper overall.
+        let mut inst = SetCoverInstance::new(4);
+        inst.add_set(3.1, [0, 1, 2, 3]); // ratio 0.775
+        inst.add_set(1.0, [0, 1]); // ratio 0.5
+        inst.add_set(1.0, [2, 3]); // ratio 0.5
+        let g = inst.solve_greedy().unwrap();
+        let e = inst.solve_exact(64).unwrap();
+        assert_eq!(e.sets, vec![1, 2]);
+        assert!((e.weight - 2.0).abs() < 1e-12);
+        assert!(g.weight >= e.weight);
+        assert!(inst.is_cover(&g.sets));
+        assert!(inst.is_cover(&e.sets));
+    }
+
+    #[test]
+    fn greedy_within_harmonic_factor() {
+        // On any instance greedy must be within H_n of optimal.
+        let mut inst = SetCoverInstance::new(6);
+        inst.add_set(2.0, [0, 1, 2]);
+        inst.add_set(2.0, [3, 4, 5]);
+        inst.add_set(1.0, [0, 3]);
+        inst.add_set(1.0, [1, 4]);
+        inst.add_set(1.0, [2, 5]);
+        let g = inst.solve_greedy().unwrap();
+        let e = inst.solve_exact(64).unwrap();
+        assert!(g.weight <= harmonic(6) * e.weight + 1e-9);
+    }
+
+    #[test]
+    fn add_set_sanitizes_input() {
+        let mut inst = SetCoverInstance::new(3);
+        let idx = inst.add_set(-5.0, [0, 0, 1, 99]);
+        assert_eq!(inst.sets()[idx].weight, 0.0);
+        assert_eq!(inst.sets()[idx].elements, vec![0, 1]);
+        let idx2 = inst.add_set(f64::NAN, [2]);
+        assert_eq!(inst.sets()[idx2].weight, 0.0);
+    }
+
+    #[test]
+    fn is_cover_rejects_bad_indices() {
+        let mut inst = SetCoverInstance::new(1);
+        inst.add_set(1.0, [0]);
+        assert!(!inst.is_cover(&[7]));
+        assert!(inst.is_cover(&[0]));
+        assert!(!inst.is_cover(&[]));
+    }
+
+    #[test]
+    fn greedy_tie_breaks_deterministically() {
+        let mut inst = SetCoverInstance::new(2);
+        inst.add_set(1.0, [0, 1]);
+        inst.add_set(1.0, [0, 1]);
+        let c = inst.solve_greedy().unwrap();
+        assert_eq!(c.sets, vec![0], "equal sets: lower index wins");
+    }
+
+    #[test]
+    fn greedy_prefers_bigger_set_on_equal_ratio() {
+        let mut inst = SetCoverInstance::new(3);
+        inst.add_set(1.0, [0]); // ratio 1.0
+        inst.add_set(2.0, [0, 1]); // ratio 1.0, but covers more
+        inst.add_set(0.5, [2]);
+        let c = inst.solve_greedy().unwrap();
+        assert!(c.sets.contains(&1));
+    }
+
+    #[test]
+    fn harmonic_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_respects_element_limit() {
+        let mut inst = SetCoverInstance::new(100);
+        for e in 0..100 {
+            inst.add_set(1.0, [e]);
+        }
+        assert!(inst.solve_exact(10).is_none());
+    }
+
+    #[test]
+    fn paper_fig2_batch_instance() {
+        // Fig. 2: requests r1..r6 for data b1..b6; d1={b1,b2,b3,b5},
+        // d2={b2,b3}, d3={b4,b6}, d4={b3,b4,b5,b6}. All disks standby, so
+        // all weights are equal (E_up/down + TB*PI = 5 in the toy model).
+        // Minimum cover: {d1, d3} (weight 10) — the paper's schedule B.
+        let mut inst = SetCoverInstance::new(6);
+        inst.add_set(5.0, [0, 1, 2, 4]); // d1 covers r1,r2,r3,r5
+        inst.add_set(5.0, [1, 2]); // d2 covers r2,r3
+        inst.add_set(5.0, [3, 5]); // d3 covers r4,r6
+        inst.add_set(5.0, [2, 3, 4, 5]); // d4 covers r3,r4,r5,r6
+        let e = inst.solve_exact(64).unwrap();
+        assert_eq!(e.weight, 10.0, "schedule B uses two disks, energy 10");
+        assert_eq!(e.sets, vec![0, 2]);
+        let g = inst.solve_greedy().unwrap();
+        assert_eq!(g.weight, 10.0, "greedy also finds a two-disk cover");
+    }
+}

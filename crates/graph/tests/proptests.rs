@@ -1,0 +1,119 @@
+//! Property-based tests for the MWIS and set-cover solvers: on random
+//! instances, every solver's output must be feasible, and the exact solvers
+//! must dominate the heuristics.
+
+use proptest::prelude::*;
+use spindown_graph::graph::{Graph, NodeId};
+use spindown_graph::mwis;
+use spindown_graph::setcover::{harmonic, SetCoverInstance};
+
+/// A random graph: n nodes, weights in (0, 10], edge list over pairs.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(|n| {
+        let weights = prop::collection::vec(0.01f64..10.0, n);
+        let edges = prop::collection::vec((0..n, 0..n), 0..(n * 2));
+        (weights, edges).prop_map(|(w, es)| {
+            let mut g = Graph::with_weights(w);
+            for (u, v) in es {
+                if u != v {
+                    g.add_edge(u as NodeId, v as NodeId);
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gwmin_output_is_independent_and_maximal(g in arb_graph(40)) {
+        let is = mwis::gwmin(&g);
+        prop_assert!(g.is_independent_set(&is));
+        // Maximality: no vertex outside the set is addable.
+        let mut inset = vec![false; g.len()];
+        for &v in &is { inset[v as usize] = true; }
+        for v in 0..g.len() {
+            if inset[v] { continue; }
+            let addable = g.neighbors(v as NodeId).iter().all(|&u| !inset[u as usize]);
+            prop_assert!(!addable, "vertex {v} was addable");
+        }
+    }
+
+    #[test]
+    fn gwmin2_output_is_independent(g in arb_graph(40)) {
+        let is = mwis::gwmin2(&g);
+        prop_assert!(g.is_independent_set(&is));
+    }
+
+    #[test]
+    fn gwmin_satisfies_sakai_bound(g in arb_graph(30)) {
+        let is = mwis::gwmin(&g);
+        let bound: f64 = (0..g.len())
+            .map(|v| g.weight(v as NodeId) / (g.degree(v as NodeId) as f64 + 1.0))
+            .sum();
+        prop_assert!(g.set_weight_sum(&is) >= bound - 1e-9);
+    }
+
+    #[test]
+    fn exact_dominates_heuristics(g in arb_graph(16)) {
+        let ex = mwis::exact(&g, 16).expect("within limit");
+        prop_assert!(g.is_independent_set(&ex));
+        let exw = g.set_weight_sum(&ex);
+        for is in [mwis::gwmin(&g), mwis::gwmin2(&g)] {
+            prop_assert!(g.set_weight_sum(&is) <= exw + 1e-9,
+                "heuristic beat exact: {} > {}", g.set_weight_sum(&is), exw);
+        }
+        let ls = mwis::local_search(&g, &mwis::gwmin(&g));
+        prop_assert!(g.is_independent_set(&ls));
+        prop_assert!(g.set_weight_sum(&ls) <= exw + 1e-9);
+    }
+
+    #[test]
+    fn local_search_never_worsens(g in arb_graph(30)) {
+        let start = mwis::gwmin(&g);
+        let improved = mwis::local_search(&g, &start);
+        prop_assert!(g.is_independent_set(&improved));
+        prop_assert!(g.set_weight_sum(&improved) >= g.set_weight_sum(&start) - 1e-9);
+    }
+
+    #[test]
+    fn greedy_cover_is_valid_and_bounded(
+        universe in 1usize..12,
+        raw_sets in prop::collection::vec(
+            (0.0f64..5.0, prop::collection::vec(0u32..12, 1..6)), 1..10),
+    ) {
+        let mut inst = SetCoverInstance::new(universe);
+        // Guarantee coverability with singletons.
+        for e in 0..universe {
+            inst.add_set(1.0, [e as u32]);
+        }
+        for (w, elems) in raw_sets {
+            inst.add_set(w, elems);
+        }
+        let g = inst.solve_greedy().expect("coverable");
+        prop_assert!(inst.is_cover(&g.sets));
+        let e = inst.solve_exact(12).expect("coverable");
+        prop_assert!(inst.is_cover(&e.sets));
+        prop_assert!(e.weight <= g.weight + 1e-9, "exact {} > greedy {}", e.weight, g.weight);
+        prop_assert!(g.weight <= harmonic(universe) * e.weight + 1e-9,
+            "greedy {} exceeded Hn bound on exact {}", g.weight, e.weight);
+    }
+
+    #[test]
+    fn uncoverable_instances_return_none(
+        universe in 2usize..10,
+        missing in 0usize..10,
+    ) {
+        let missing = missing % universe;
+        let mut inst = SetCoverInstance::new(universe);
+        for e in 0..universe {
+            if e != missing {
+                inst.add_set(1.0, [e as u32]);
+            }
+        }
+        prop_assert!(inst.solve_greedy().is_none());
+        prop_assert!(inst.solve_exact(16).is_none());
+    }
+}

@@ -1,0 +1,264 @@
+//! Discrete-event queue.
+//!
+//! [`EventQueue`] is the heart of the simulation kernel: a priority queue of
+//! `(SimTime, payload)` pairs ordered by time, with **stable FIFO ordering
+//! for events scheduled at the same instant**. Stability matters for
+//! reproducibility: two events at the same timestamp are always delivered in
+//! the order they were scheduled, independent of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event: delivery time plus an opaque payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scheduled<T> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// The event payload.
+    pub payload: T,
+}
+
+struct Entry<T> {
+    at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (and among
+        // equal times, the smallest sequence number) is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue with stable FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_sim::event::EventQueue;
+/// use spindown_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "late");
+/// q.schedule(SimTime::from_secs(1), "early");
+/// q.schedule(SimTime::from_secs(1), "early-second");
+///
+/// assert_eq!(q.pop().unwrap().payload, "early");
+/// assert_eq!(q.pop().unwrap().payload, "early-second");
+/// assert_eq!(q.pop().unwrap().payload, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    /// Time of the most recently popped event; used to detect scheduling
+    /// into the past (a logic error in the caller).
+    watermark: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            watermark: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `payload` for delivery at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is earlier than the time of the most
+    /// recently popped event — scheduling into the simulated past is always
+    /// a bug in the caller.
+    pub fn schedule(&mut self, at: SimTime, payload: T) {
+        debug_assert!(
+            at >= self.watermark,
+            "scheduled event at {at:?} before current time {:?}",
+            self.watermark
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, advancing the internal
+    /// watermark to its time.
+    pub fn pop(&mut self) -> Option<Scheduled<T>> {
+        let e = self.heap.pop()?;
+        self.watermark = e.at;
+        Some(Scheduled {
+            at: e.at,
+            payload: e.payload,
+        })
+    }
+
+    /// The delivery time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The time of the most recently popped event (the queue's notion of
+    /// "now").
+    pub fn now(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Discards all pending events without changing the watermark.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &s in &[5u64, 1, 9, 3, 7] {
+            q.schedule(SimTime::from_secs(s), s);
+        }
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e.payload);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e.payload);
+        }
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(t, "a");
+        q.schedule(t, "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        q.schedule(t, "c");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+    }
+
+    #[test]
+    fn watermark_tracks_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.schedule(SimTime::from_secs(4), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    #[cfg(debug_assertions)]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn peek_len_empty_clear() {
+        let mut q = EventQueue::with_capacity(8);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(2), ());
+        q.schedule(SimTime::from_secs(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_time_as_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 0);
+        q.pop();
+        // Re-scheduling at exactly `now` must be fine (zero-delay events).
+        q.schedule(q.now(), 1);
+        assert_eq!(q.pop().unwrap().at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn large_volume_is_sorted() {
+        let mut q = EventQueue::new();
+        // Deterministic pseudo-shuffle.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.schedule(SimTime::from_micros(x % 1_000_000), ());
+        }
+        let mut prev = SimTime::ZERO;
+        while let Some(e) = q.pop() {
+            assert!(e.at >= prev);
+            prev = e.at;
+        }
+        let _ = prev + SimDuration::ZERO;
+    }
+}

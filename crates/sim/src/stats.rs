@@ -1,0 +1,577 @@
+//! Online statistics used by the metrics layer: streaming mean/variance,
+//! a log-bucketed latency histogram with percentile queries, and a
+//! time-weighted accumulator for state-occupancy breakdowns.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming mean / variance / min / max via Welford's algorithm.
+///
+/// Numerically stable for long runs; O(1) space.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_sim::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (0 with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Coefficient of variation: σ / μ (0 for an empty or zero-mean stream).
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Log-bucketed histogram of durations, built for latency distributions
+/// that span six orders of magnitude (100 µs disk hits to 15 s spin-up
+/// stalls, paper Fig. 12).
+///
+/// Buckets are geometric: bucket `i` covers
+/// `[min_value · growth^i, min_value · growth^(i+1))`. With the default
+/// configuration (`min = 10 µs`, `growth = 1.25`) relative quantile error
+/// is bounded by 25 %, plenty for the paper's log-scale plots.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    min_value: f64,
+    log_growth: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    total: u64,
+    stats: OnlineStats,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new(10e-6, 1.25, 128)
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram with `buckets` geometric buckets starting at
+    /// `min_value` seconds and growing by `growth` per bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_value <= 0`, `growth <= 1`, or `buckets == 0`.
+    pub fn new(min_value: f64, growth: f64, buckets: usize) -> Self {
+        assert!(min_value > 0.0, "min_value must be positive");
+        assert!(growth > 1.0, "growth must exceed 1");
+        assert!(buckets > 0, "need at least one bucket");
+        LatencyHistogram {
+            min_value,
+            log_growth: growth.ln(),
+            counts: vec![0; buckets],
+            underflow: 0,
+            total: 0,
+            stats: OnlineStats::new(),
+        }
+    }
+
+    /// Records a duration.
+    pub fn record(&mut self, d: SimDuration) {
+        self.record_secs(d.as_secs_f64());
+    }
+
+    /// Records a value in seconds.
+    pub fn record_secs(&mut self, secs: f64) {
+        self.total += 1;
+        self.stats.push(secs);
+        if secs < self.min_value {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((secs / self.min_value).ln() / self.log_growth) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the *exact* recorded values (not bucket midpoints).
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Largest exact recorded value.
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.stats.max()
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0,1]`, returned in seconds. Uses the
+    /// upper edge of the bucket containing the quantile (conservative).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.min_value;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bucket_upper(i);
+            }
+        }
+        self.stats.max()
+    }
+
+    fn bucket_upper(&self, i: usize) -> f64 {
+        self.min_value * ((i + 1) as f64 * self.log_growth).exp()
+    }
+
+    fn bucket_lower(&self, i: usize) -> f64 {
+        self.min_value * (i as f64 * self.log_growth).exp()
+    }
+
+    /// Inverse CDF points `(x_seconds, P[value > x])` for every non-empty
+    /// bucket edge — exactly the curve plotted in the paper's Fig. 12.
+    pub fn inverse_cdf(&self) -> Vec<(f64, f64)> {
+        let mut points = Vec::new();
+        if self.total == 0 {
+            return points;
+        }
+        let mut above = self.total - self.underflow;
+        points.push((self.min_value, above as f64 / self.total as f64));
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            above -= c;
+            points.push((self.bucket_upper(i), above as f64 / self.total as f64));
+        }
+        points
+    }
+
+    /// Fraction of recorded values strictly greater than `x` seconds
+    /// (bucket-granular).
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut above = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if self.bucket_lower(i) >= x {
+                above += c;
+            }
+        }
+        above as f64 / self.total as f64
+    }
+
+    /// Merges another histogram with identical bucket configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
+        assert!(
+            (self.min_value - other.min_value).abs() < 1e-15
+                && (self.log_growth - other.log_growth).abs() < 1e-15,
+            "bucket geometry mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.total += other.total;
+        self.stats.merge(&other.stats);
+    }
+}
+
+/// Accumulates how long an entity spends in each of a small, fixed set of
+/// states — the raw material of the paper's Fig. 9 / Fig. 17 per-disk
+/// state-time breakdowns.
+///
+/// `N` is the number of states; callers index states with a `usize`
+/// (typically `enum as usize`).
+#[derive(Debug, Clone)]
+pub struct StateTimer<const N: usize> {
+    acc: [SimDuration; N],
+    current: usize,
+    since: SimTime,
+}
+
+impl<const N: usize> StateTimer<N> {
+    /// Starts timing in `initial` at time `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial >= N`.
+    pub fn new(initial: usize, start: SimTime) -> Self {
+        assert!(initial < N, "state index out of range");
+        StateTimer {
+            acc: [SimDuration::ZERO; N],
+            current: initial,
+            since: start,
+        }
+    }
+
+    /// The state currently being timed.
+    pub fn current(&self) -> usize {
+        self.current
+    }
+
+    /// Switches to `next` at time `now`, crediting the elapsed interval to
+    /// the previous state. Switching to the current state is a no-op credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next >= N` or `now` precedes the last transition.
+    pub fn transition(&mut self, next: usize, now: SimTime) {
+        assert!(next < N, "state index out of range");
+        self.acc[self.current] += now - self.since;
+        self.current = next;
+        self.since = now;
+    }
+
+    /// Accumulated time in `state`, *excluding* the still-open interval.
+    pub fn accumulated(&self, state: usize) -> SimDuration {
+        self.acc[state]
+    }
+
+    /// Snapshot of all state durations as of `now` (the open interval is
+    /// credited to the current state).
+    pub fn snapshot(&self, now: SimTime) -> [SimDuration; N] {
+        let mut out = self.acc;
+        out[self.current] += now.saturating_since(self.since);
+        out
+    }
+
+    /// Fractions of total elapsed time per state as of `now`. Returns all
+    /// zeros if no time has elapsed.
+    pub fn fractions(&self, now: SimTime) -> [f64; N] {
+        let snap = self.snapshot(now);
+        let total: f64 = snap.iter().map(|d| d.as_secs_f64()).sum();
+        let mut out = [0.0; N];
+        if total > 0.0 {
+            for (o, d) in out.iter_mut().zip(&snap) {
+                *o = d.as_secs_f64() / total;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basics() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        s.push(1.0);
+        s.push(2.0);
+        s.push(3.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.sum(), 6.0);
+        assert!((s.population_variance() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 1.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 3.0);
+    }
+
+    #[test]
+    fn online_stats_cv() {
+        let mut s = OnlineStats::new();
+        for _ in 0..10 {
+            s.push(5.0);
+        }
+        assert_eq!(s.cv(), 0.0);
+        let mut t = OnlineStats::new();
+        t.push(0.0);
+        t.push(10.0);
+        assert!((t.cv() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.population_variance() - all.population_variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(4.0);
+        let before = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&a);
+        assert_eq!(empty.mean(), before);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_truth() {
+        let mut h = LatencyHistogram::default();
+        // 99 values at 1 ms, 1 value at 10 s.
+        for _ in 0..99 {
+            h.record_secs(0.001);
+        }
+        h.record_secs(10.0);
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.50);
+        assert!((0.001..=0.002).contains(&p50), "p50 {p50}");
+        let p999 = h.quantile(0.999);
+        assert!((8.0..=13.0).contains(&p999), "p999 {p999}");
+        assert!((h.mean() - (99.0 * 0.001 + 10.0) / 100.0).abs() < 1e-12);
+        assert_eq!(h.max(), 10.0);
+    }
+
+    #[test]
+    fn histogram_empty_behaviour() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert!(h.inverse_cdf().is_empty());
+        assert_eq!(h.fraction_above(1.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_underflow_bucket() {
+        let mut h = LatencyHistogram::new(0.001, 2.0, 16);
+        h.record_secs(1e-9);
+        h.record_secs(1e-9);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), 0.001);
+    }
+
+    #[test]
+    fn histogram_overflow_clamps_to_last_bucket() {
+        let mut h = LatencyHistogram::new(0.001, 2.0, 4);
+        h.record_secs(1e9);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) > 0.0);
+    }
+
+    #[test]
+    fn inverse_cdf_is_monotone_nonincreasing() {
+        let mut h = LatencyHistogram::default();
+        let mut x = 0.0001;
+        for _ in 0..1000 {
+            h.record_secs(x);
+            x *= 1.01;
+        }
+        let pts = h.inverse_cdf();
+        assert!(!pts.is_empty());
+        for w in pts.windows(2) {
+            assert!(w[0].0 < w[1].0, "x must increase");
+            assert!(w[0].1 >= w[1].1, "P[>x] must not increase");
+        }
+        assert!(pts.last().unwrap().1 <= 1e-9);
+    }
+
+    #[test]
+    fn fraction_above_rough() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record_secs(0.001);
+        }
+        for _ in 0..10 {
+            h.record_secs(5.0);
+        }
+        let f = h.fraction_above(1.0);
+        assert!((f - 0.1).abs() < 0.02, "fraction {f}");
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record_secs(0.001);
+        b.record_secs(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile(1.0) >= 1.0);
+    }
+
+    #[test]
+    fn state_timer_accumulates() {
+        let mut t: StateTimer<3> = StateTimer::new(0, SimTime::ZERO);
+        t.transition(1, SimTime::from_secs(5));
+        t.transition(2, SimTime::from_secs(7));
+        t.transition(0, SimTime::from_secs(10));
+        let snap = t.snapshot(SimTime::from_secs(12));
+        assert_eq!(snap[0], SimDuration::from_secs(7)); // 5 closed + 2 open
+        assert_eq!(snap[1], SimDuration::from_secs(2));
+        assert_eq!(snap[2], SimDuration::from_secs(3));
+        assert_eq!(t.current(), 0);
+        assert_eq!(t.accumulated(0), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn state_timer_fractions_sum_to_one() {
+        let mut t: StateTimer<2> = StateTimer::new(0, SimTime::ZERO);
+        t.transition(1, SimTime::from_secs(1));
+        let f = t.fractions(SimTime::from_secs(4));
+        assert!((f[0] - 0.25).abs() < 1e-12);
+        assert!((f[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_timer_zero_elapsed_fractions() {
+        let t: StateTimer<2> = StateTimer::new(1, SimTime::ZERO);
+        assert_eq!(t.fractions(SimTime::ZERO), [0.0, 0.0]);
+    }
+
+    #[test]
+    fn state_timer_self_transition_is_benign() {
+        let mut t: StateTimer<2> = StateTimer::new(0, SimTime::ZERO);
+        t.transition(0, SimTime::from_secs(3));
+        let snap = t.snapshot(SimTime::from_secs(4));
+        assert_eq!(snap[0], SimDuration::from_secs(4));
+    }
+}

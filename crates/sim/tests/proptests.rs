@@ -1,0 +1,141 @@
+//! Property tests for the simulation kernel: the event queue against a
+//! sorted reference, histogram quantiles against exact order statistics,
+//! and statistics accumulators against direct computation.
+
+use proptest::prelude::*;
+
+use spindown_sim::event::EventQueue;
+use spindown_sim::rng::{AliasTable, SimRng, Zipf};
+use spindown_sim::stats::{LatencyHistogram, OnlineStats};
+use spindown_sim::time::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Popping the queue yields exactly a stable sort of the scheduled
+    /// events (by time, ties by insertion order).
+    #[test]
+    fn event_queue_is_a_stable_sort(times in prop::collection::vec(0u64..1_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expect.sort_by_key(|&(t, i)| (t, i)); // stable by construction
+        let mut got = Vec::new();
+        while let Some(e) = q.pop() {
+            got.push((e.at.as_micros(), e.payload));
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Histogram quantiles bracket the exact order statistics within one
+    /// bucket's relative width.
+    #[test]
+    fn histogram_quantiles_bracket_exact(
+        values in prop::collection::vec(1e-5f64..100.0, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LatencyHistogram::default();
+        for &v in &values {
+            h.record_secs(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        let exact = sorted[idx];
+        let approx = h.quantile(q);
+        // Bucket growth is 1.25: the reported (upper-edge) quantile may
+        // exceed the exact value by one bucket and never undershoots by
+        // more than one bucket.
+        prop_assert!(approx >= exact / 1.26, "approx {approx} far below exact {exact}");
+        prop_assert!(approx <= exact * 1.26, "approx {approx} far above exact {exact}");
+    }
+
+    /// The histogram's mean is exact (it tracks raw values).
+    #[test]
+    fn histogram_mean_is_exact(values in prop::collection::vec(0.0f64..50.0, 1..200)) {
+        let mut h = LatencyHistogram::default();
+        for &v in &values {
+            h.record(SimDuration::from_secs_f64(v));
+        }
+        // SimDuration rounds to µs, so compare against the rounded values.
+        let rounded: Vec<f64> = values
+            .iter()
+            .map(|&v| SimDuration::from_secs_f64(v).as_secs_f64())
+            .collect();
+        let exact = rounded.iter().sum::<f64>() / rounded.len() as f64;
+        prop_assert!((h.mean() - exact).abs() < 1e-9);
+    }
+
+    /// Welford statistics match the naive two-pass computation.
+    #[test]
+    fn online_stats_match_naive(values in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() < 1e-6);
+        prop_assert!((s.population_variance() - var).abs() < 1e-4);
+        prop_assert_eq!(s.count(), values.len() as u64);
+    }
+
+    /// Merged accumulators equal the sequential result for any split.
+    #[test]
+    fn online_stats_merge_any_split(
+        values in prop::collection::vec(-1e3f64..1e3, 2..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((values.len() as f64 * split_frac) as usize).min(values.len());
+        let (mut a, mut b) = (OnlineStats::new(), OnlineStats::new());
+        for &v in &values[..split] { a.push(v); }
+        for &v in &values[split..] { b.push(v); }
+        a.merge(&b);
+        let mut all = OnlineStats::new();
+        for &v in &values { all.push(v); }
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-6);
+        prop_assert!((a.population_variance() - all.population_variance()).abs() < 1e-4);
+        prop_assert_eq!(a.min(), all.min());
+        prop_assert_eq!(a.max(), all.max());
+    }
+
+    /// Zipf samples always land in range; the PMF is a distribution.
+    #[test]
+    fn zipf_is_well_formed(n in 1usize..500, z in 0.0f64..2.0, seed in 0u64..1000) {
+        let zipf = Zipf::new(n, z).expect("valid parameters");
+        let total: f64 = (1..=n).map(|r| zipf.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let r = zipf.sample(&mut rng);
+            prop_assert!((1..=n).contains(&r));
+        }
+    }
+
+    /// Alias-table samples land in range for any positive weight vector.
+    #[test]
+    fn alias_table_is_well_formed(
+        weights in prop::collection::vec(0.001f64..100.0, 1..100),
+        seed in 0u64..1000,
+    ) {
+        let table = AliasTable::new(&weights).expect("positive weights");
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(table.sample(&mut rng) < weights.len());
+        }
+    }
+
+    /// Forked RNG streams never coincide with the parent over a window.
+    #[test]
+    fn forked_streams_diverge(seed in 0u64..10_000) {
+        let mut parent = SimRng::seed_from_u64(seed);
+        let mut child = parent.fork(1);
+        let p: Vec<u64> = (0..16).map(|_| parent.next_u64()).collect();
+        let c: Vec<u64> = (0..16).map(|_| child.next_u64()).collect();
+        prop_assert_ne!(p, c);
+    }
+}

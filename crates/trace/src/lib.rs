@@ -1,0 +1,34 @@
+//! # spindown-trace
+//!
+//! Workload substrate for the ICDCS 2011 reproduction: the paper evaluates
+//! on the HP **Cello** and UMass **Financial1** block traces, which are not
+//! redistributable. This crate provides
+//!
+//! * [`record`] — the trace model ([`record::Trace`],
+//!   [`record::TraceRecord`], [`record::DataId`]); one data item per unique
+//!   (device, block) pair, exactly as the paper defines it (§4.1);
+//! * [`spc`] — parser for the SPC CSV format (Financial1's format), so the
+//!   real trace drops in when available;
+//! * [`srt`] — parser for textual HP SRT-style records (Cello's family);
+//! * [`synth`] — deterministic generators that reproduce the traces'
+//!   load-bearing statistics: [`synth::CelloLike`] (bursty Pareto-ON/OFF
+//!   arrivals, Zipf popularity) and [`synth::FinancialLike`] (smooth OLTP
+//!   Poisson arrivals);
+//! * [`stats`] — [`stats::TraceStats`] to verify those statistics
+//!   (inter-arrival CV, dispersion, popularity skew, fitted Zipf z);
+//! * [`transform`] — merge / window / rescale utilities for preparing
+//!   real traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod record;
+pub mod spc;
+pub mod srt;
+pub mod stats;
+pub mod synth;
+pub mod transform;
+
+pub use record::{DataId, OpKind, Trace, TraceRecord};
+pub use stats::TraceStats;
+pub use synth::{CelloLike, FinancialLike, TraceGenerator};

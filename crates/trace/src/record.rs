@@ -1,0 +1,265 @@
+//! Trace record model.
+//!
+//! A trace is a time-sorted sequence of block-level I/O requests. Following
+//! the paper (§4.1), "each unique combination of disk id and block address"
+//! in the source trace is one **data item** ([`DataId`]); the storage
+//! system's placement manager later decides which simulated disks hold each
+//! item's replicas.
+
+use spindown_sim::time::{SimDuration, SimTime};
+
+/// Identifier of one data item (block) in the storage system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataId(pub u64);
+
+/// Request direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Read — the only kind the scheduler handles (the paper assumes
+    /// writes are diverted by write off-loading, §2.1).
+    Read,
+    /// Write — retained by the parsers so real traces round-trip; the
+    /// experiment layer filters or off-loads them.
+    Write,
+}
+
+/// One I/O request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Disk access time — "the time a disk receives the request" (paper
+    /// Table 1, `t_i`).
+    pub at: SimTime,
+    /// The data item accessed.
+    pub data: DataId,
+    /// Transfer size in bytes (the paper's file blocks are normally
+    /// 512 KB).
+    pub size: u64,
+    /// Read or write.
+    pub op: OpKind,
+}
+
+/// A time-sorted request trace.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_trace::record::{DataId, OpKind, Trace, TraceRecord};
+/// use spindown_sim::time::SimTime;
+///
+/// let trace = Trace::from_records(vec![
+///     TraceRecord { at: SimTime::from_secs(2), data: DataId(1), size: 4096, op: OpKind::Read },
+///     TraceRecord { at: SimTime::from_secs(1), data: DataId(2), size: 4096, op: OpKind::Read },
+/// ]);
+/// assert_eq!(trace.len(), 2);
+/// // Records are sorted on construction.
+/// assert_eq!(trace.records()[0].data, DataId(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting records by time (stable, so same-instant
+    /// records keep their relative order).
+    pub fn from_records(mut records: Vec<TraceRecord>) -> Self {
+        records.sort_by_key(|r| r.at);
+        Trace { records }
+    }
+
+    /// The records, ascending by time.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if the trace has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Time of the first request (`None` if empty).
+    pub fn start(&self) -> Option<SimTime> {
+        self.records.first().map(|r| r.at)
+    }
+
+    /// Time of the last request (`None` if empty).
+    pub fn end(&self) -> Option<SimTime> {
+        self.records.last().map(|r| r.at)
+    }
+
+    /// Span between first and last request.
+    pub fn duration(&self) -> SimDuration {
+        match (self.start(), self.end()) {
+            (Some(s), Some(e)) => e.saturating_since(s),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Number of distinct data items touched.
+    pub fn unique_data(&self) -> usize {
+        let mut ids: Vec<u64> = self.records.iter().map(|r| r.data.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// The largest data id + 1 (dense id space size); 0 if empty.
+    pub fn data_space(&self) -> u64 {
+        self.records.iter().map(|r| r.data.0 + 1).max().unwrap_or(0)
+    }
+
+    /// A copy containing only read requests — what the scheduler sees
+    /// after write off-loading (paper §2.1).
+    pub fn reads_only(&self) -> Trace {
+        Trace {
+            records: self
+                .records
+                .iter()
+                .copied()
+                .filter(|r| r.op == OpKind::Read)
+                .collect(),
+        }
+    }
+
+    /// A copy truncated to the first `n` requests.
+    pub fn take(&self, n: usize) -> Trace {
+        Trace {
+            records: self.records.iter().copied().take(n).collect(),
+        }
+    }
+
+    /// A copy with all timestamps shifted so the first request is at
+    /// `SimTime::ZERO`.
+    pub fn rebased(&self) -> Trace {
+        let Some(start) = self.start() else {
+            return Trace::default();
+        };
+        Trace {
+            records: self
+                .records
+                .iter()
+                .map(|r| TraceRecord {
+                    at: SimTime::ZERO + r.at.saturating_since(start),
+                    ..*r
+                })
+                .collect(),
+        }
+    }
+
+    /// A copy with data ids remapped to a dense `0..unique` range
+    /// (ascending by original id). The placement manager indexes per-data
+    /// arrays, so dense ids keep memory proportional to *distinct* data.
+    pub fn densified(&self) -> Trace {
+        let mut ids: Vec<u64> = self.records.iter().map(|r| r.data.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let lookup = |id: u64| ids.binary_search(&id).expect("id present") as u64;
+        Trace {
+            records: self
+                .records
+                .iter()
+                .map(|r| TraceRecord {
+                    data: DataId(lookup(r.data.0)),
+                    ..*r
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_s: u64, data: u64, op: OpKind) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_secs(at_s),
+            data: DataId(data),
+            size: 512 * 1024,
+            op,
+        }
+    }
+
+    #[test]
+    fn sorts_on_construction() {
+        let t = Trace::from_records(vec![
+            rec(5, 0, OpKind::Read),
+            rec(1, 1, OpKind::Read),
+            rec(3, 2, OpKind::Read),
+        ]);
+        let times: Vec<u64> = t.records().iter().map(|r| r.at.as_micros()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(t.start(), Some(SimTime::from_secs(1)));
+        assert_eq!(t.end(), Some(SimTime::from_secs(5)));
+        assert_eq!(t.duration(), SimDuration::from_secs(4));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.start(), None);
+        assert_eq!(t.duration(), SimDuration::ZERO);
+        assert_eq!(t.unique_data(), 0);
+        assert_eq!(t.data_space(), 0);
+        assert!(t.rebased().is_empty());
+    }
+
+    #[test]
+    fn unique_data_counts_distinct() {
+        let t = Trace::from_records(vec![
+            rec(1, 7, OpKind::Read),
+            rec(2, 7, OpKind::Read),
+            rec(3, 9, OpKind::Read),
+        ]);
+        assert_eq!(t.unique_data(), 2);
+        assert_eq!(t.data_space(), 10);
+    }
+
+    #[test]
+    fn reads_only_filters_writes() {
+        let t = Trace::from_records(vec![
+            rec(1, 0, OpKind::Read),
+            rec(2, 1, OpKind::Write),
+            rec(3, 2, OpKind::Read),
+        ]);
+        let r = t.reads_only();
+        assert_eq!(r.len(), 2);
+        assert!(r.records().iter().all(|x| x.op == OpKind::Read));
+    }
+
+    #[test]
+    fn take_truncates() {
+        let t = Trace::from_records((0..10).map(|i| rec(i, i, OpKind::Read)).collect());
+        assert_eq!(t.take(3).len(), 3);
+        assert_eq!(t.take(100).len(), 10);
+    }
+
+    #[test]
+    fn rebased_starts_at_zero() {
+        let t = Trace::from_records(vec![rec(100, 0, OpKind::Read), rec(105, 1, OpKind::Read)]);
+        let r = t.rebased();
+        assert_eq!(r.start(), Some(SimTime::ZERO));
+        assert_eq!(r.end(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn densified_remaps_ids() {
+        let t = Trace::from_records(vec![
+            rec(1, 1000, OpKind::Read),
+            rec(2, 5, OpKind::Read),
+            rec(3, 1000, OpKind::Read),
+        ]);
+        let d = t.densified();
+        assert_eq!(d.unique_data(), 2);
+        assert_eq!(d.data_space(), 2);
+        // Same id maps to same dense id.
+        assert_eq!(d.records()[0].data, d.records()[2].data);
+        assert_ne!(d.records()[0].data, d.records()[1].data);
+    }
+}

@@ -1,0 +1,241 @@
+//! SPC trace-format parser — the format of the UMass **Financial1** trace
+//! the paper evaluates on (§4.1, \[23\]).
+//!
+//! Each line is a comma-separated record:
+//!
+//! ```text
+//! ASU,LBA,Size,Opcode,Timestamp[,optional fields...]
+//! ```
+//!
+//! * `ASU` — application storage unit (integer),
+//! * `LBA` — logical block address (integer),
+//! * `Size` — bytes (integer),
+//! * `Opcode` — `r`/`R` read, `w`/`W` write,
+//! * `Timestamp` — seconds since trace start (float).
+//!
+//! Data identity follows the paper: one data item per unique `(ASU, LBA)`
+//! pair, encoded as `ASU << 48 | LBA`.
+
+use spindown_sim::time::SimTime;
+
+use crate::record::{DataId, OpKind, Trace, TraceRecord};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpcParseError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: SpcErrorKind,
+}
+
+/// Categories of SPC parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpcErrorKind {
+    /// Fewer than five comma-separated fields.
+    TooFewFields,
+    /// A numeric field failed to parse.
+    BadNumber(&'static str),
+    /// The opcode field was not `r`/`R`/`w`/`W`.
+    BadOpcode(String),
+}
+
+impl std::fmt::Display for SpcParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            SpcErrorKind::TooFewFields => write!(f, "line {}: too few fields", self.line),
+            SpcErrorKind::BadNumber(field) => {
+                write!(f, "line {}: invalid number in field {}", self.line, field)
+            }
+            SpcErrorKind::BadOpcode(op) => {
+                write!(f, "line {}: invalid opcode {:?}", self.line, op)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpcParseError {}
+
+/// Encodes an `(asu, lba)` pair as the paper's data identity.
+pub fn data_id(asu: u16, lba: u64) -> DataId {
+    DataId(((asu as u64) << 48) | (lba & ((1u64 << 48) - 1)))
+}
+
+/// Parses SPC-format text into a [`Trace`]. Blank lines and lines starting
+/// with `#` are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_trace::spc::parse;
+///
+/// let text = "0,20941264,8192,W,0.551706\n0,20939840,8192,W,0.554041\n1,3436288,15872,r,1.011732\n";
+/// let trace = parse(text).unwrap();
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace.reads_only().len(), 1);
+/// ```
+pub fn parse(text: &str) -> Result<Trace, SpcParseError> {
+    let mut records = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        records.push(parse_line(line, line_no)?);
+    }
+    Ok(Trace::from_records(records))
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<TraceRecord, SpcParseError> {
+    let err = |kind| SpcParseError {
+        line: line_no,
+        kind,
+    };
+    let mut fields = line.split(',');
+    let mut next = |name: &'static str| {
+        fields
+            .next()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| err_field(line_no, name))
+    };
+    fn err_field(line: usize, _name: &'static str) -> SpcParseError {
+        SpcParseError {
+            line,
+            kind: SpcErrorKind::TooFewFields,
+        }
+    }
+
+    let asu: u16 = next("asu")?
+        .parse()
+        .map_err(|_| err(SpcErrorKind::BadNumber("asu")))?;
+    let lba: u64 = next("lba")?
+        .parse()
+        .map_err(|_| err(SpcErrorKind::BadNumber("lba")))?;
+    let size: u64 = next("size")?
+        .parse()
+        .map_err(|_| err(SpcErrorKind::BadNumber("size")))?;
+    let op = match next("opcode")? {
+        "r" | "R" => OpKind::Read,
+        "w" | "W" => OpKind::Write,
+        other => return Err(err(SpcErrorKind::BadOpcode(other.to_string()))),
+    };
+    let ts: f64 = next("timestamp")?
+        .parse()
+        .map_err(|_| err(SpcErrorKind::BadNumber("timestamp")))?;
+    if !ts.is_finite() || ts < 0.0 {
+        return Err(err(SpcErrorKind::BadNumber("timestamp")));
+    }
+    Ok(TraceRecord {
+        at: SimTime::from_secs_f64(ts),
+        data: data_id(asu, lba),
+        size,
+        op,
+    })
+}
+
+/// Serializes a [`Trace`] back to SPC text (for round-trip tests and for
+/// exporting synthetic traces in a standard format). The `(asu, lba)`
+/// encoding of [`data_id`] is inverted.
+pub fn to_string(trace: &Trace) -> String {
+    let mut out = String::new();
+    for r in trace.records() {
+        let asu = (r.data.0 >> 48) as u16;
+        let lba = r.data.0 & ((1u64 << 48) - 1);
+        let op = match r.op {
+            OpKind::Read => 'r',
+            OpKind::Write => 'w',
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{:.6}\n",
+            asu,
+            lba,
+            r.size,
+            op,
+            r.at.as_secs_f64()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_financial1_style_lines() {
+        let text = "\
+0,20941264,8192,W,0.551706
+0,20939840,8192,W,0.554041
+1,3436288,15872,r,1.011732
+# a comment
+
+2,515200,3072,R,2.97794
+";
+        let t = parse(text).unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.reads_only().len(), 2);
+        assert_eq!(t.records()[0].size, 8192);
+        assert_eq!(t.records()[0].op, OpKind::Write);
+        assert_eq!(t.records()[2].data, data_id(1, 3436288));
+        assert_eq!(t.records()[0].at, SimTime::from_secs_f64(0.551706));
+    }
+
+    #[test]
+    fn distinct_asu_same_lba_are_distinct_data() {
+        assert_ne!(data_id(0, 100), data_id(1, 100));
+        assert_eq!(data_id(3, 100), data_id(3, 100));
+    }
+
+    #[test]
+    fn rejects_short_lines() {
+        let e = parse("1,2,3\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.kind, SpcErrorKind::TooFewFields);
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let e = parse("x,2,3,r,0.5\n").unwrap_err();
+        assert_eq!(e.kind, SpcErrorKind::BadNumber("asu"));
+        let e = parse("1,2,3,r,notatime\n").unwrap_err();
+        assert_eq!(e.kind, SpcErrorKind::BadNumber("timestamp"));
+        let e = parse("1,2,3,r,-5\n").unwrap_err();
+        assert_eq!(e.kind, SpcErrorKind::BadNumber("timestamp"));
+    }
+
+    #[test]
+    fn rejects_bad_opcode() {
+        let e = parse("1,2,3,x,0.5\n").unwrap_err();
+        assert_eq!(e.kind, SpcErrorKind::BadOpcode("x".into()));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn error_lines_are_accurate() {
+        let e = parse("1,2,3,r,0.5\n1,2,3,r,bad\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "0,1024,4096,r,0.500000\n7,2048,8192,w,1.250000\n";
+        let t = parse(text).unwrap();
+        assert_eq!(to_string(&t), text);
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = parse("1,2,3,z,0.5\n").unwrap_err();
+        assert!(e.to_string().contains("invalid opcode"));
+        let e = parse("1\n").unwrap_err();
+        assert!(e.to_string().contains("too few fields"));
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let t = parse(" 1 , 2 , 3 , r , 0.5 \n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

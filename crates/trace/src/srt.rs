@@ -1,0 +1,168 @@
+//! HP SRT-style parser — a whitespace-delimited representation of the
+//! **Cello** trace family the paper evaluates on (§4.1, \[3\]).
+//!
+//! HP's original `.srt` files are binary and not redistributable; the
+//! conventional textual export (one record per line) is:
+//!
+//! ```text
+//! <timestamp_s> <device_id> <block_number> <size_bytes> <R|W>
+//! ```
+//!
+//! Data identity follows the paper: one data item per unique
+//! `(device, block)` pair.
+
+use spindown_sim::time::SimTime;
+
+use crate::record::{DataId, OpKind, Trace, TraceRecord};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SrtParseError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for SrtParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SrtParseError {}
+
+/// Encodes a `(device, block)` pair as the data identity.
+pub fn data_id(device: u16, block: u64) -> DataId {
+    DataId(((device as u64) << 48) | (block & ((1u64 << 48) - 1)))
+}
+
+/// Parses SRT-style text into a [`Trace`]. Blank lines and `#` comments
+/// are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_trace::srt::parse;
+///
+/// let text = "0.125 3 81920 8192 R\n0.250 3 81928 8192 W\n";
+/// let trace = parse(text).unwrap();
+/// assert_eq!(trace.len(), 2);
+/// ```
+pub fn parse(text: &str) -> Result<Trace, SrtParseError> {
+    let mut records = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| SrtParseError {
+            line: line_no,
+            message,
+        };
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 5 {
+            return Err(err(format!("expected 5 fields, got {}", fields.len())));
+        }
+        let ts: f64 = fields[0]
+            .parse()
+            .map_err(|_| err(format!("bad timestamp {:?}", fields[0])))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(err(format!("bad timestamp {:?}", fields[0])));
+        }
+        let device: u16 = fields[1]
+            .parse()
+            .map_err(|_| err(format!("bad device id {:?}", fields[1])))?;
+        let block: u64 = fields[2]
+            .parse()
+            .map_err(|_| err(format!("bad block number {:?}", fields[2])))?;
+        let size: u64 = fields[3]
+            .parse()
+            .map_err(|_| err(format!("bad size {:?}", fields[3])))?;
+        let op = match fields[4] {
+            "r" | "R" => OpKind::Read,
+            "w" | "W" => OpKind::Write,
+            other => return Err(err(format!("bad op {other:?}"))),
+        };
+        records.push(TraceRecord {
+            at: SimTime::from_secs_f64(ts),
+            data: data_id(device, block),
+            size,
+            op,
+        });
+    }
+    Ok(Trace::from_records(records))
+}
+
+/// Serializes a [`Trace`] to SRT text, inverting [`data_id`].
+pub fn to_string(trace: &Trace) -> String {
+    let mut out = String::new();
+    for r in trace.records() {
+        let device = (r.data.0 >> 48) as u16;
+        let block = r.data.0 & ((1u64 << 48) - 1);
+        let op = match r.op {
+            OpKind::Read => 'R',
+            OpKind::Write => 'W',
+        };
+        out.push_str(&format!(
+            "{:.6} {} {} {} {}\n",
+            r.at.as_secs_f64(),
+            device,
+            block,
+            r.size,
+            op
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_records() {
+        let t = parse("0.125 3 81920 8192 R\n0.250 4 81928 8192 W\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[0].data, data_id(3, 81920));
+        assert_eq!(t.records()[0].op, OpKind::Read);
+        assert_eq!(t.records()[1].op, OpKind::Write);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let t = parse("# header\n\n0.5 1 2 4096 R\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sorts_out_of_order_records() {
+        let t = parse("5.0 1 2 4096 R\n1.0 1 3 4096 R\n").unwrap();
+        assert_eq!(t.records()[0].at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("0.5 1 2 4096\n").is_err());
+        assert!(parse("x 1 2 4096 R\n").is_err());
+        assert!(parse("0.5 1 2 4096 Z\n").is_err());
+        assert!(parse("-1 1 2 4096 R\n").is_err());
+        let e = parse("0.5 1 2 4096 R\nbroken\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let text = "0.125000 3 81920 8192 R\n0.250000 4 81928 8192 W\n";
+        let t = parse(text).unwrap();
+        assert_eq!(to_string(&t), text);
+    }
+
+    #[test]
+    fn extra_fields_tolerated() {
+        // Real exports sometimes append queue depth etc.
+        let t = parse("0.5 1 2 4096 R extra stuff\n").unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

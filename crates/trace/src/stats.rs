@@ -1,0 +1,263 @@
+//! Trace statistics: the quantities used to verify that the synthetic
+//! generators match the properties the paper's traces are known for
+//! (burstiness, popularity skew, scale).
+
+use spindown_sim::stats::OnlineStats;
+
+use crate::record::Trace;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub requests: usize,
+    /// Distinct data items accessed.
+    pub unique_data: usize,
+    /// Trace span, seconds.
+    pub duration_s: f64,
+    /// Mean arrival rate, requests/second.
+    pub mean_rate: f64,
+    /// Mean inter-arrival gap, seconds.
+    pub interarrival_mean_s: f64,
+    /// Coefficient of variation of inter-arrival gaps (1 = Poisson;
+    /// > 1 = bursty).
+    pub interarrival_cv: f64,
+    /// Index of dispersion of per-second arrival counts
+    /// (variance / mean; 1 = Poisson, larger = bursty).
+    pub dispersion_1s: f64,
+    /// Fraction of accesses landing on the most popular 1 % of items.
+    pub top1pct_share: f64,
+    /// Least-squares Zipf exponent fitted to the rank-frequency curve.
+    pub fitted_zipf_z: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics for `trace`. Traces with fewer than two
+    /// requests report zeros for the derived quantities.
+    pub fn compute(trace: &Trace) -> TraceStats {
+        let recs = trace.records();
+        let requests = recs.len();
+        let unique_data = trace.unique_data();
+        let duration_s = trace.duration().as_secs_f64();
+        let mean_rate = if duration_s > 0.0 {
+            requests as f64 / duration_s
+        } else {
+            0.0
+        };
+
+        // Inter-arrival gaps.
+        let mut gaps = OnlineStats::new();
+        for w in recs.windows(2) {
+            gaps.push(w[1].at.as_secs_f64() - w[0].at.as_secs_f64());
+        }
+        let interarrival_mean_s = gaps.mean();
+        let interarrival_cv = gaps.cv();
+
+        // Index of dispersion over 1-second windows.
+        let dispersion_1s = if duration_s >= 2.0 {
+            let windows = duration_s.ceil() as usize;
+            let start = recs[0].at;
+            let mut counts = vec![0f64; windows];
+            for r in recs {
+                let idx = r.at.saturating_since(start).as_secs_f64() as usize;
+                counts[idx.min(windows - 1)] += 1.0;
+            }
+            let mut cs = OnlineStats::new();
+            for c in counts {
+                cs.push(c);
+            }
+            if cs.mean() > 0.0 {
+                cs.population_variance() / cs.mean()
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+
+        // Popularity: counts per item, descending.
+        let mut freq: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for r in recs {
+            *freq.entry(r.data.0).or_insert(0) += 1;
+        }
+        let mut counts: Vec<u64> = freq.into_values().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+
+        let top1pct_share = if !counts.is_empty() && requests > 0 {
+            let k = (counts.len() as f64 * 0.01).ceil() as usize;
+            let top: u64 = counts.iter().take(k.max(1)).sum();
+            top as f64 / requests as f64
+        } else {
+            0.0
+        };
+
+        // Fit log(freq) = -z log(rank) + c by least squares over all ranks
+        // with freq >= 2 (singletons flatten the tail artificially).
+        let fitted_zipf_z = {
+            let pts: Vec<(f64, f64)> = counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c >= 2)
+                .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+                .collect();
+            if pts.len() < 3 {
+                0.0
+            } else {
+                let n = pts.len() as f64;
+                let sx: f64 = pts.iter().map(|p| p.0).sum();
+                let sy: f64 = pts.iter().map(|p| p.1).sum();
+                let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+                let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+                let denom = n * sxx - sx * sx;
+                if denom.abs() < 1e-12 {
+                    0.0
+                } else {
+                    -((n * sxy - sx * sy) / denom)
+                }
+            }
+        };
+
+        TraceStats {
+            requests,
+            unique_data,
+            duration_s,
+            mean_rate,
+            interarrival_mean_s,
+            interarrival_cv,
+            dispersion_1s,
+            top1pct_share,
+            fitted_zipf_z,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "requests            : {}", self.requests)?;
+        writeln!(f, "unique data items   : {}", self.unique_data)?;
+        writeln!(f, "duration            : {:.1} s", self.duration_s)?;
+        writeln!(f, "mean rate           : {:.2} req/s", self.mean_rate)?;
+        writeln!(f, "inter-arrival mean  : {:.4} s", self.interarrival_mean_s)?;
+        writeln!(f, "inter-arrival CV    : {:.2}", self.interarrival_cv)?;
+        writeln!(f, "dispersion (1s)     : {:.2}", self.dispersion_1s)?;
+        writeln!(
+            f,
+            "top-1% item share   : {:.1}%",
+            self.top1pct_share * 100.0
+        )?;
+        write!(f, "fitted Zipf z       : {:.2}", self.fitted_zipf_z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{CelloLike, FinancialLike, TraceGenerator};
+
+    #[test]
+    fn empty_and_singleton_traces() {
+        let s = TraceStats::compute(&Trace::default());
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.mean_rate, 0.0);
+        assert_eq!(s.interarrival_cv, 0.0);
+        use crate::record::{DataId, OpKind, TraceRecord};
+        use spindown_sim::time::SimTime;
+        let one = Trace::from_records(vec![TraceRecord {
+            at: SimTime::from_secs(1),
+            data: DataId(0),
+            size: 1,
+            op: OpKind::Read,
+        }]);
+        let s = TraceStats::compute(&one);
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.dispersion_1s, 0.0);
+    }
+
+    #[test]
+    fn poisson_trace_has_cv_near_one() {
+        let t = FinancialLike {
+            requests: 30_000,
+            data_items: 5_000,
+            ..FinancialLike::default()
+        }
+        .generate(1);
+        let s = TraceStats::compute(&t);
+        assert!(
+            (s.interarrival_cv - 1.0).abs() < 0.1,
+            "cv {}",
+            s.interarrival_cv
+        );
+        assert!(s.dispersion_1s < 2.0, "dispersion {}", s.dispersion_1s);
+    }
+
+    #[test]
+    fn bursty_trace_has_high_dispersion() {
+        let t = CelloLike {
+            requests: 30_000,
+            data_items: 5_000,
+            ..CelloLike::default()
+        }
+        .generate(1);
+        let s = TraceStats::compute(&t);
+        assert!(s.interarrival_cv > 1.3, "cv {}", s.interarrival_cv);
+        assert!(s.dispersion_1s > 3.0, "dispersion {}", s.dispersion_1s);
+    }
+
+    #[test]
+    fn fitted_z_tracks_generator_z() {
+        for &(z, lo, hi) in &[(0.0, -0.2, 0.35), (1.0, 0.7, 1.3)] {
+            let t = CelloLike {
+                requests: 50_000,
+                data_items: 2_000,
+                popularity_z: z,
+                ..CelloLike::default()
+            }
+            .generate(5);
+            let s = TraceStats::compute(&t);
+            assert!(
+                (lo..hi).contains(&s.fitted_zipf_z),
+                "z={z} fitted {}",
+                s.fitted_zipf_z
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_trace_concentrates_top_items() {
+        let skewed = CelloLike {
+            requests: 30_000,
+            data_items: 3_000,
+            popularity_z: 1.0,
+            ..CelloLike::default()
+        }
+        .generate(2);
+        let uniform = CelloLike {
+            requests: 30_000,
+            data_items: 3_000,
+            popularity_z: 0.0,
+            ..CelloLike::default()
+        }
+        .generate(2);
+        let ss = TraceStats::compute(&skewed);
+        let su = TraceStats::compute(&uniform);
+        assert!(
+            ss.top1pct_share > su.top1pct_share * 2.0,
+            "skewed {} vs uniform {}",
+            ss.top1pct_share,
+            su.top1pct_share
+        );
+    }
+
+    #[test]
+    fn display_renders() {
+        let t = FinancialLike {
+            requests: 100,
+            data_items: 50,
+            ..FinancialLike::default()
+        }
+        .generate(1);
+        let text = TraceStats::compute(&t).to_string();
+        assert!(text.contains("requests"));
+        assert!(text.contains("Zipf"));
+    }
+}

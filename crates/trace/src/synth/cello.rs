@@ -1,0 +1,163 @@
+//! Cello-like synthetic trace: bursty arrivals + skewed popularity.
+//!
+//! The real Cello trace (HP Labs timesharing workload, paper §4.1) is
+//! characterized by high inter-arrival burstiness ("much higher burstness
+//! and variation", §A.4) and Zipf-like block popularity. This generator
+//! reproduces both with a multi-source Pareto-ON/OFF arrival process and a
+//! Zipf popularity model.
+
+use spindown_sim::rng::SimRng;
+
+use crate::record::{OpKind, Trace, TraceRecord};
+use crate::synth::arrivals::OnOffProcess;
+use crate::synth::popularity::ZipfPopularity;
+use crate::synth::TraceGenerator;
+
+/// Builder for Cello-like traces.
+///
+/// Defaults match the paper's experimental scale: 70 000 requests over
+/// 30 000 data items, 512 KB blocks, all reads (write off-loading is
+/// assumed to have removed writes before the scheduler, §2.1).
+///
+/// # Examples
+///
+/// ```
+/// use spindown_trace::synth::{CelloLike, TraceGenerator};
+///
+/// let trace = CelloLike { requests: 1000, data_items: 500, ..CelloLike::default() }
+///     .generate(42);
+/// assert_eq!(trace.len(), 1000);
+/// assert!(trace.unique_data() <= 500);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CelloLike {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of distinct data items in the id space.
+    pub data_items: usize,
+    /// Zipf exponent of block popularity.
+    pub popularity_z: f64,
+    /// Block size, bytes.
+    pub block_size: u64,
+    /// Fraction of requests that are writes (0 = pure read workload).
+    pub write_fraction: f64,
+    /// The bursty arrival process.
+    pub arrivals: OnOffProcess,
+}
+
+impl Default for CelloLike {
+    fn default() -> Self {
+        CelloLike {
+            requests: 70_000,
+            data_items: 30_000,
+            popularity_z: 1.0,
+            block_size: 512 * 1024,
+            write_fraction: 0.0,
+            arrivals: OnOffProcess {
+                sources: 24,
+                on_shape: 1.5,
+                on_scale_s: 2.0,
+                off_shape: 1.3,
+                off_scale_s: 30.0,
+                burst_rate: 25.0,
+            },
+        }
+    }
+}
+
+impl TraceGenerator for CelloLike {
+    fn generate(&self, seed: u64) -> Trace {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xCE110);
+        let pop = ZipfPopularity::new(self.data_items, self.popularity_z, &mut rng)
+            .expect("valid popularity parameters");
+        let times = self.arrivals.generate(&mut rng, self.requests);
+        let records = times
+            .into_iter()
+            .map(|at| TraceRecord {
+                at,
+                data: pop.sample(&mut rng),
+                size: self.block_size,
+                op: if rng.chance(self.write_fraction) {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                },
+            })
+            .collect();
+        Trace::from_records(records)
+    }
+
+    fn name(&self) -> &'static str {
+        "cello-like"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CelloLike {
+        CelloLike {
+            requests: 5_000,
+            data_items: 2_000,
+            ..CelloLike::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let t = small().generate(1);
+        assert_eq!(t.len(), 5_000);
+        assert!(t.records().iter().all(|r| r.size == 512 * 1024));
+        assert!(t.records().iter().all(|r| r.op == OpKind::Read));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small().generate(7);
+        let b = small().generate(7);
+        assert_eq!(a.records(), b.records());
+        let c = small().generate(8);
+        assert_ne!(a.records(), c.records());
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let t = CelloLike {
+            requests: 30_000,
+            data_items: 1_000,
+            ..CelloLike::default()
+        }
+        .generate(3);
+        // Count accesses per item; the hottest item should take far more
+        // than the uniform share.
+        let mut counts = vec![0u32; 1_000];
+        for r in t.records() {
+            counts[r.data.0 as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let uniform_share = 30_000.0 / 1_000.0;
+        assert!(max > uniform_share * 20.0, "max {max}");
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let t = CelloLike {
+            requests: 10_000,
+            write_fraction: 0.3,
+            ..small()
+        }
+        .generate(5);
+        let writes = t.records().iter().filter(|r| r.op == OpKind::Write).count();
+        let frac = writes as f64 / 10_000.0;
+        assert!((0.27..0.33).contains(&frac), "write fraction {frac}");
+    }
+
+    #[test]
+    fn default_scale_matches_paper() {
+        let g = CelloLike::default();
+        assert_eq!(g.requests, 70_000);
+        assert_eq!(g.data_items, 30_000);
+        assert_eq!(g.name(), "cello-like");
+    }
+}

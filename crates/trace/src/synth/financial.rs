@@ -1,0 +1,160 @@
+//! Financial1-like synthetic trace: smooth OLTP arrivals + hot-spot
+//! popularity.
+//!
+//! The real Financial1 trace (UMass, OLTP at a financial institution,
+//! paper §4.1) differs from Cello mainly in its *lower* arrival
+//! burstiness — the paper's only cross-trace observation is that mean
+//! response times drop from ~1 s (Cello) to ~300 ms (Financial1) because
+//! inter-arrival variation is smaller (§A.4). This generator therefore
+//! uses a Poisson arrival process (inter-arrival CV = 1) with the same
+//! Zipf-style popularity skew and smaller OLTP-sized blocks.
+
+use spindown_sim::rng::SimRng;
+
+use crate::record::{OpKind, Trace, TraceRecord};
+use crate::synth::arrivals::poisson;
+use crate::synth::popularity::ZipfPopularity;
+use crate::synth::TraceGenerator;
+
+/// Builder for Financial1-like traces.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_trace::synth::{FinancialLike, TraceGenerator};
+///
+/// let trace = FinancialLike { requests: 1000, ..FinancialLike::default() }.generate(1);
+/// assert_eq!(trace.len(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FinancialLike {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of distinct data items.
+    pub data_items: usize,
+    /// Zipf exponent of block popularity.
+    pub popularity_z: f64,
+    /// Mean arrival rate, requests per second.
+    pub rate: f64,
+    /// Block size, bytes (OLTP pages are small).
+    pub block_size: u64,
+    /// Fraction of requests that are writes.
+    pub write_fraction: f64,
+}
+
+impl Default for FinancialLike {
+    fn default() -> Self {
+        FinancialLike {
+            requests: 70_000,
+            data_items: 30_000,
+            popularity_z: 1.0,
+            rate: 30.0,
+            block_size: 8 * 1024,
+            write_fraction: 0.0,
+        }
+    }
+}
+
+impl TraceGenerator for FinancialLike {
+    fn generate(&self, seed: u64) -> Trace {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xF17A);
+        let pop = ZipfPopularity::new(self.data_items, self.popularity_z, &mut rng)
+            .expect("valid popularity parameters");
+        let times = poisson(&mut rng, self.rate, self.requests);
+        let records = times
+            .into_iter()
+            .map(|at| TraceRecord {
+                at,
+                data: pop.sample(&mut rng),
+                size: self.block_size,
+                op: if rng.chance(self.write_fraction) {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                },
+            })
+            .collect();
+        Trace::from_records(records)
+    }
+
+    fn name(&self) -> &'static str {
+        "financial-like"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FinancialLike {
+        FinancialLike {
+            requests: 5_000,
+            data_items: 2_000,
+            ..FinancialLike::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let t = small().generate(1);
+        assert_eq!(t.len(), 5_000);
+        assert!(t.records().iter().all(|r| r.op == OpKind::Read));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(small().generate(4).records(), small().generate(4).records());
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let t = FinancialLike {
+            requests: 30_000,
+            rate: 50.0,
+            ..small()
+        }
+        .generate(2);
+        let span = t.duration().as_secs_f64();
+        let rate = 30_000.0 / span;
+        assert!((40.0..60.0).contains(&rate), "measured rate {rate}");
+    }
+
+    #[test]
+    fn smoother_than_cello() {
+        use crate::synth::CelloLike;
+        let fin = FinancialLike {
+            requests: 30_000,
+            ..FinancialLike::default()
+        }
+        .generate(11);
+        let cel = CelloLike {
+            requests: 30_000,
+            ..CelloLike::default()
+        }
+        .generate(11);
+        let cv = |t: &Trace| {
+            let gaps: Vec<f64> = t
+                .records()
+                .windows(2)
+                .map(|w| w[1].at.as_secs_f64() - w[0].at.as_secs_f64())
+                .collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var.sqrt() / mean
+        };
+        assert!(
+            cv(&fin) < cv(&cel),
+            "financial CV {} must be below cello CV {}",
+            cv(&fin),
+            cv(&cel)
+        );
+    }
+
+    #[test]
+    fn default_scale_matches_paper() {
+        let g = FinancialLike::default();
+        assert_eq!(g.requests, 70_000);
+        assert_eq!(g.data_items, 30_000);
+        assert_eq!(g.name(), "financial-like");
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic workload generators.
+//!
+//! The paper evaluates on two real traces (Cello, Financial1) that are not
+//! redistributable. Per the reproduction's substitution rule, this module
+//! generates statistical stand-ins that match the three trace properties
+//! the paper's results actually depend on:
+//!
+//! 1. **arrival burstiness** — Cello is highly bursty (the paper attributes
+//!    its higher response times to this, §A.4); Financial1 is a smoother
+//!    OLTP stream. [`arrivals`] provides Poisson and multi-source
+//!    Pareto-ON/OFF (self-similar) processes.
+//! 2. **block-popularity skew** — both traces exhibit Zipf-like popularity
+//!    (§4.2, citing \[2\]). [`popularity`] draws data ids from a Zipf law
+//!    over a shuffled rank assignment.
+//! 3. **scale** — 70 000 requests over ~30 000 distinct data items
+//!    (§4.1), which the presets reproduce.
+//!
+//! Real traces in SPC or SRT format drop in via the sibling parsers.
+
+pub mod arrivals;
+pub mod cello;
+pub mod financial;
+pub mod popularity;
+
+use crate::record::Trace;
+
+/// A deterministic trace generator: same seed, same trace.
+pub trait TraceGenerator {
+    /// Generates the trace for `seed`.
+    fn generate(&self, seed: u64) -> Trace;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+pub use cello::CelloLike;
+pub use financial::FinancialLike;

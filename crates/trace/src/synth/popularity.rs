@@ -1,0 +1,112 @@
+//! Block-popularity model: Zipf-distributed access frequency over a
+//! shuffled rank-to-item assignment.
+
+use spindown_sim::rng::{AliasTable, SimRng};
+
+use crate::record::DataId;
+
+/// Draws data items with Zipf(`z`) popularity.
+///
+/// Rank `r` (1-based) is accessed with probability `∝ 1/r^z`; which *item*
+/// holds which rank is a random permutation drawn at construction, so item
+/// ids carry no popularity information (placement and popularity stay
+/// independent, as in a real trace).
+///
+/// Sampling is O(1) via an alias table.
+#[derive(Debug, Clone)]
+pub struct ZipfPopularity {
+    table: AliasTable,
+    rank_to_item: Vec<u64>,
+}
+
+impl ZipfPopularity {
+    /// Builds a popularity model over `items` data items with exponent `z`
+    /// (`z = 0` is uniform). Returns `None` if `items == 0` or `z` is
+    /// negative/non-finite.
+    pub fn new(items: usize, z: f64, rng: &mut SimRng) -> Option<Self> {
+        if items == 0 || !z.is_finite() || z < 0.0 {
+            return None;
+        }
+        let weights: Vec<f64> = (1..=items).map(|r| 1.0 / (r as f64).powf(z)).collect();
+        let table = AliasTable::new(&weights)?;
+        let mut rank_to_item: Vec<u64> = (0..items as u64).collect();
+        rng.shuffle(&mut rank_to_item);
+        Some(ZipfPopularity {
+            table,
+            rank_to_item,
+        })
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.rank_to_item.len()
+    }
+
+    /// Draws one data id.
+    pub fn sample(&self, rng: &mut SimRng) -> DataId {
+        let rank = self.table.sample(rng);
+        DataId(self.rank_to_item[rank])
+    }
+
+    /// The item id holding popularity rank `r` (0-based; rank 0 is
+    /// hottest). Exposed for tests and trace analysis.
+    pub fn item_at_rank(&self, r: usize) -> DataId {
+        DataId(self.rank_to_item[r])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_items_eventually() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let pop = ZipfPopularity::new(50, 0.0, &mut rng).unwrap();
+        let mut seen = [false; 50];
+        for _ in 0..20_000 {
+            seen[pop.sample(&mut rng).0 as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform should hit every item");
+    }
+
+    #[test]
+    fn hot_rank_dominates_under_high_skew() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let pop = ZipfPopularity::new(1000, 1.0, &mut rng).unwrap();
+        let hot = pop.item_at_rank(0);
+        let n = 50_000;
+        let hot_hits = (0..n).filter(|_| pop.sample(&mut rng) == hot).count();
+        // P(rank 1) = 1/H_1000 ≈ 0.1336.
+        let frac = hot_hits as f64 / n as f64;
+        assert!((0.11..0.16).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn rank_assignment_is_a_permutation() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let pop = ZipfPopularity::new(100, 0.8, &mut rng).unwrap();
+        let mut ids: Vec<u64> = (0..100).map(|r| pop.item_at_rank(r).0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let build = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            let pop = ZipfPopularity::new(64, 1.0, &mut rng).unwrap();
+            (0..100).map(|_| pop.sample(&mut rng).0).collect::<Vec<_>>()
+        };
+        assert_eq!(build(9), build(9));
+        assert_ne!(build(9), build(10));
+    }
+
+    #[test]
+    fn rejects_degenerate_params() {
+        let mut rng = SimRng::seed_from_u64(0);
+        assert!(ZipfPopularity::new(0, 1.0, &mut rng).is_none());
+        assert!(ZipfPopularity::new(5, -0.5, &mut rng).is_none());
+        assert!(ZipfPopularity::new(5, f64::NAN, &mut rng).is_none());
+    }
+}

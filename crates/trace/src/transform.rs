@@ -1,0 +1,170 @@
+//! Trace transformations: merging, time-windowing, and rate rescaling —
+//! the pre-processing toolbox for running real traces through the
+//! experiment harness (e.g. extracting a busy hour of Cello, or slowing a
+//! trace down to stress the power manager).
+
+use spindown_sim::time::{SimDuration, SimTime};
+
+use crate::record::{Trace, TraceRecord};
+
+/// Merges multiple traces into one time-sorted stream. Data-id spaces are
+/// kept distinct by offsetting each input's ids by the running maximum
+/// (`disjoint_data = true`), or merged as-is (`false` — same ids refer to
+/// the same blocks).
+pub fn merge(traces: &[&Trace], disjoint_data: bool) -> Trace {
+    let mut records: Vec<TraceRecord> = Vec::new();
+    let mut offset: u64 = 0;
+    for t in traces {
+        let span = t.data_space();
+        for r in t.records() {
+            let mut r = *r;
+            if disjoint_data {
+                r.data.0 += offset;
+            }
+            records.push(r);
+        }
+        if disjoint_data {
+            offset += span;
+        }
+    }
+    Trace::from_records(records)
+}
+
+/// Keeps only the records in `[from, to)`, rebased to start at zero.
+pub fn window(trace: &Trace, from: SimTime, to: SimTime) -> Trace {
+    Trace::from_records(
+        trace
+            .records()
+            .iter()
+            .filter(|r| r.at >= from && r.at < to)
+            .map(|r| TraceRecord {
+                at: SimTime::ZERO + r.at.saturating_since(from),
+                ..*r
+            })
+            .collect(),
+    )
+}
+
+/// Rescales all inter-arrival times by `factor` (> 1 stretches the trace
+/// — lower rate; < 1 compresses it — higher rate). Request order, data
+/// and sizes are untouched.
+///
+/// # Panics
+///
+/// Panics if `factor` is not strictly positive and finite.
+pub fn rescale_time(trace: &Trace, factor: f64) -> Trace {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "rescale factor must be positive"
+    );
+    let Some(start) = trace.start() else {
+        return Trace::default();
+    };
+    Trace::from_records(
+        trace
+            .records()
+            .iter()
+            .map(|r| TraceRecord {
+                at: start
+                    + SimDuration::from_secs_f64(
+                        r.at.saturating_since(start).as_secs_f64() * factor,
+                    ),
+                ..*r
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DataId, OpKind};
+
+    fn rec(at_s: f64, data: u64) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_secs_f64(at_s),
+            data: DataId(data),
+            size: 4096,
+            op: OpKind::Read,
+        }
+    }
+
+    fn trace(recs: &[(f64, u64)]) -> Trace {
+        Trace::from_records(recs.iter().map(|&(t, d)| rec(t, d)).collect())
+    }
+
+    #[test]
+    fn merge_sorts_and_offsets_ids() {
+        let a = trace(&[(0.0, 0), (2.0, 1)]);
+        let b = trace(&[(1.0, 0)]);
+        let merged = merge(&[&a, &b], true);
+        assert_eq!(merged.len(), 3);
+        let times: Vec<f64> = merged
+            .records()
+            .iter()
+            .map(|r| r.at.as_secs_f64())
+            .collect();
+        assert_eq!(times, vec![0.0, 1.0, 2.0]);
+        // b's data 0 was offset past a's space (max id 1 -> space 2).
+        assert_eq!(merged.records()[1].data, DataId(2));
+        assert_eq!(merged.unique_data(), 3);
+    }
+
+    #[test]
+    fn merge_shared_ids() {
+        let a = trace(&[(0.0, 7)]);
+        let b = trace(&[(1.0, 7)]);
+        let merged = merge(&[&a, &b], false);
+        assert_eq!(merged.unique_data(), 1);
+    }
+
+    #[test]
+    fn merge_empty_inputs() {
+        let merged = merge(&[], true);
+        assert!(merged.is_empty());
+        let a = trace(&[(0.0, 0)]);
+        let merged = merge(&[&a, &Trace::default()], true);
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn window_selects_and_rebases() {
+        let t = trace(&[(0.0, 0), (5.0, 1), (10.0, 2), (15.0, 3)]);
+        let w = window(&t, SimTime::from_secs(5), SimTime::from_secs(15));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.records()[0].at, SimTime::ZERO);
+        assert_eq!(w.records()[1].at, SimTime::from_secs(5));
+        assert_eq!(w.records()[0].data, DataId(1));
+    }
+
+    #[test]
+    fn window_empty_range() {
+        let t = trace(&[(0.0, 0)]);
+        let w = window(&t, SimTime::from_secs(5), SimTime::from_secs(5));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn rescale_stretches_gaps() {
+        let t = trace(&[(10.0, 0), (12.0, 1), (14.0, 2)]);
+        let slow = rescale_time(&t, 3.0);
+        assert_eq!(slow.start(), Some(SimTime::from_secs(10)));
+        assert_eq!(slow.duration(), SimDuration::from_secs(12));
+        let fast = rescale_time(&t, 0.5);
+        assert_eq!(fast.duration(), SimDuration::from_secs(2));
+        // Data and order preserved.
+        let ids: Vec<u64> = fast.records().iter().map(|r| r.data.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rescale_empty() {
+        assert!(rescale_time(&Trace::default(), 2.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rescale_rejects_zero() {
+        rescale_time(&Trace::default(), 0.0);
+    }
+}

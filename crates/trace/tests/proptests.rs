@@ -1,0 +1,130 @@
+//! Property tests for the trace substrate: parser round-trips on arbitrary
+//! records and structural invariants of the generators.
+
+use proptest::prelude::*;
+
+use spindown_sim::time::SimTime;
+use spindown_trace::record::{OpKind, Trace, TraceRecord};
+use spindown_trace::synth::{CelloLike, FinancialLike, TraceGenerator};
+use spindown_trace::{spc, srt};
+
+/// Arbitrary trace records with ids that fit both wire formats
+/// (16-bit device, 48-bit address).
+fn arb_records() -> impl Strategy<Value = Vec<TraceRecord>> {
+    let rec = (
+        0u64..1_000_000_000, // micros
+        0u16..100,           // device / asu
+        0u64..(1u64 << 40),  // block / lba
+        1u64..10_000_000,    // size
+        prop::bool::ANY,     // write?
+    )
+        .prop_map(|(us, dev, block, size, is_write)| TraceRecord {
+            at: SimTime::from_micros(us),
+            data: spc::data_id(dev, block),
+            size,
+            op: if is_write {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            },
+        });
+    prop::collection::vec(rec, 0..100)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SPC serialization parses back to the identical trace.
+    #[test]
+    fn spc_roundtrip(records in arb_records()) {
+        let trace = Trace::from_records(records);
+        let text = spc::to_string(&trace);
+        let parsed = spc::parse(&text).expect("own output must parse");
+        prop_assert_eq!(parsed.records(), trace.records());
+    }
+
+    /// SRT serialization parses back to the identical trace.
+    #[test]
+    fn srt_roundtrip(records in arb_records()) {
+        let trace = Trace::from_records(records);
+        let text = srt::to_string(&trace);
+        let parsed = srt::parse(&text).expect("own output must parse");
+        prop_assert_eq!(parsed.records(), trace.records());
+    }
+
+    /// Trace construction invariants: sorted, rebasing anchors at zero,
+    /// densification preserves access patterns.
+    #[test]
+    fn trace_transforms_preserve_structure(records in arb_records()) {
+        let trace = Trace::from_records(records);
+        prop_assert!(trace.records().windows(2).all(|w| w[0].at <= w[1].at));
+
+        let rebased = trace.rebased();
+        prop_assert_eq!(rebased.len(), trace.len());
+        if !rebased.is_empty() {
+            prop_assert_eq!(rebased.start(), Some(SimTime::ZERO));
+            prop_assert_eq!(rebased.duration(), trace.duration());
+        }
+
+        let dense = trace.densified();
+        prop_assert_eq!(dense.unique_data(), trace.unique_data());
+        prop_assert!(dense.data_space() as usize == dense.unique_data());
+        // Same-data relations are preserved.
+        for (a, b) in trace.records().iter().zip(dense.records()) {
+            prop_assert_eq!(a.at, b.at);
+            prop_assert_eq!(a.size, b.size);
+        }
+        for i in 0..trace.len() {
+            for j in (i + 1)..trace.len().min(i + 10) {
+                let same_before = trace.records()[i].data == trace.records()[j].data;
+                let same_after = dense.records()[i].data == dense.records()[j].data;
+                prop_assert_eq!(same_before, same_after);
+            }
+        }
+    }
+
+    /// reads_only + the write complement partition the trace.
+    #[test]
+    fn read_write_split_partitions(records in arb_records()) {
+        let trace = Trace::from_records(records);
+        let reads = trace.reads_only();
+        let writes = trace.len() - reads.len();
+        let actual_writes = trace
+            .records()
+            .iter()
+            .filter(|r| r.op == OpKind::Write)
+            .count();
+        prop_assert_eq!(writes, actual_writes);
+    }
+
+    /// Generators honor their request count and stay time-sorted for any
+    /// modest parameterization.
+    #[test]
+    fn generators_hold_structural_invariants(
+        n in 1usize..2_000,
+        items in 1usize..1_000,
+        z in 0.0f64..1.5,
+        seed in 0u64..100,
+    ) {
+        let cello = CelloLike {
+            requests: n,
+            data_items: items,
+            popularity_z: z,
+            ..CelloLike::default()
+        }
+        .generate(seed);
+        prop_assert_eq!(cello.len(), n);
+        prop_assert!(cello.records().windows(2).all(|w| w[0].at <= w[1].at));
+        prop_assert!(cello.unique_data() <= items);
+
+        let fin = FinancialLike {
+            requests: n,
+            data_items: items,
+            popularity_z: z,
+            ..FinancialLike::default()
+        }
+        .generate(seed);
+        prop_assert_eq!(fin.len(), n);
+        prop_assert!(fin.records().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}
