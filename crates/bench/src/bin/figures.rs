@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures as plain-text reports.
 //!
 //! ```text
-//! figures [--quick] [--seed N] [--out DIR] <fig2|...|fig17|ablations|all>
+//! figures [--quick] [--seed N] [--jobs N] [--out DIR] <fig2|...|fig17|ablations|all>
 //! ```
 //!
 //! Reports are printed to stdout and written under `results/` (or the
@@ -18,6 +18,7 @@ use spindown_bench::workload::Scale;
 fn main() {
     let mut quick = false;
     let mut seed = 42u64;
+    let mut jobs = 1usize;
     let mut out_dir = PathBuf::from("results");
     let mut targets: Vec<String> = Vec::new();
 
@@ -30,6 +31,13 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--jobs" | "-j" => {
+                jobs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .unwrap_or_else(|| die("--jobs needs a positive integer"));
             }
             "--out" => {
                 out_dir = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
@@ -53,10 +61,10 @@ fn main() {
         Scale::paper()
     };
     eprintln!(
-        "# scale: {} requests, {} data items, {} disks (seed {seed})",
+        "# scale: {} requests, {} data items, {} disks (seed {seed}, jobs {jobs})",
         scale.requests, scale.data_items, scale.disks
     );
-    let harness = Harness::new(scale, seed);
+    let harness = Harness::with_jobs(scale, seed, jobs);
 
     let mut ids: Vec<String> = Vec::new();
     for t in targets {
@@ -97,7 +105,7 @@ fn main() {
 
 fn print_help() {
     eprintln!(
-        "usage: figures [--quick] [--seed N] [--out DIR] <targets...>\n\
+        "usage: figures [--quick] [--seed N] [--jobs N] [--out DIR] <targets...>\n\
          targets: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11\n\
          \t fig12 fig13 fig14 fig15 fig16 fig17 ablations all"
     );

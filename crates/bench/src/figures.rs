@@ -25,6 +25,7 @@ use crate::workload::{self, Scale};
 pub struct Harness {
     scale: Scale,
     seed: u64,
+    jobs: usize,
     cello: OnceCell<Vec<Request>>,
     financial: OnceCell<Vec<Request>>,
     cello_grid: OnceCell<EvalGrid>,
@@ -32,11 +33,20 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Creates a harness at the given scale and seed.
+    /// Creates a harness at the given scale and seed, computing grids on
+    /// the calling thread.
     pub fn new(scale: Scale, seed: u64) -> Self {
+        Harness::with_jobs(scale, seed, 1)
+    }
+
+    /// Creates a harness whose grid computations fan out over up to
+    /// `jobs` worker threads ([`EvalGrid::compute_with_jobs`]). Grid
+    /// contents are bit-identical for every `jobs` value.
+    pub fn with_jobs(scale: Scale, seed: u64, jobs: usize) -> Self {
         Harness {
             scale,
             seed,
+            jobs: jobs.max(1),
             cello: OnceCell::new(),
             financial: OnceCell::new(),
             cello_grid: OnceCell::new(),
@@ -47,6 +57,11 @@ impl Harness {
     /// The harness scale.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// Worker-thread budget for grid computation.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     fn cello(&self) -> &[Request] {
@@ -60,13 +75,15 @@ impl Harness {
     }
 
     fn cello_grid(&self) -> &EvalGrid {
-        self.cello_grid
-            .get_or_init(|| EvalGrid::compute(self.cello(), self.scale, 1.0, self.seed))
+        self.cello_grid.get_or_init(|| {
+            EvalGrid::compute_with_jobs(self.cello(), self.scale, 1.0, self.seed, self.jobs)
+        })
     }
 
     fn financial_grid(&self) -> &EvalGrid {
-        self.financial_grid
-            .get_or_init(|| EvalGrid::compute(self.financial(), self.scale, 1.0, self.seed))
+        self.financial_grid.get_or_init(|| {
+            EvalGrid::compute_with_jobs(self.financial(), self.scale, 1.0, self.seed, self.jobs)
+        })
     }
 
     /// Dispatches a figure by id (`"fig2"` … `"fig17"`). Returns `None`

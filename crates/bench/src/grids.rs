@@ -10,6 +10,8 @@ use spindown_core::metrics::RunMetrics;
 use spindown_core::model::Request;
 use spindown_core::placement::PlacementConfig;
 use spindown_core::system::SystemConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::workload::Scale;
 
@@ -37,8 +39,29 @@ pub struct EvalGrid {
 }
 
 impl EvalGrid {
-    /// Runs the full scheduler × replication grid over `requests`.
+    /// Runs the full scheduler × replication grid over `requests` on the
+    /// calling thread. Equivalent to [`EvalGrid::compute_with_jobs`] with
+    /// `jobs = 1`.
     pub fn compute(requests: &[Request], scale: Scale, zipf_z: f64, seed: u64) -> EvalGrid {
+        Self::compute_with_jobs(requests, scale, zipf_z, seed, 1)
+    }
+
+    /// Runs the grid with up to `jobs` worker threads.
+    ///
+    /// Every cell is an independent simulation — each run derives its own
+    /// RNG stream from the spec seed, never from shared mutable state —
+    /// so the cells are fanned out over a work queue and collected by
+    /// cell index. The grid is bit-identical to the serial (`jobs = 1`)
+    /// result for any thread count. `jobs` is clamped to
+    /// `1..=cell count`; the always-on reference runs on the calling
+    /// thread either way.
+    pub fn compute_with_jobs(
+        requests: &[Request],
+        scale: Scale,
+        zipf_z: f64,
+        seed: u64,
+        jobs: usize,
+    ) -> EvalGrid {
         let spec_for = |scheduler: SchedulerKind, rf: u32| ExperimentSpec {
             placement: PlacementConfig {
                 disks: scale.disks,
@@ -52,36 +75,65 @@ impl EvalGrid {
             },
             seed,
         };
-        let mut cells = Vec::new();
+
+        // The cell plan, in the canonical (rf, scheduler) order the
+        // figures index by.
+        let mut plan: Vec<(u32, &'static str, SchedulerKind)> = Vec::new();
         for rf in RF_SWEEP {
             for kind in SchedulerKind::paper_set() {
                 let label = kind.label();
-                let metrics = run_experiment(requests, &spec_for(kind, rf));
-                cells.push(GridCell {
-                    rf,
-                    scheduler: label,
-                    metrics,
-                });
+                plan.push((rf, label, kind));
             }
             // Extension column: the offline planner with assignment-level
             // hill climbing (the "better MWIS algorithm" the paper
             // conjectures about in §5.1).
-            let refined = run_experiment(
-                requests,
-                &spec_for(
-                    SchedulerKind::Mwis {
-                        solver: spindown_core::sched::MwisSolver::GwMinRefined { passes: 4 },
-                        max_successors: 3,
-                    },
-                    rf,
-                ),
-            );
-            cells.push(GridCell {
+            plan.push((
                 rf,
-                scheduler: "mwis-r",
-                metrics: refined,
-            });
+                "mwis-r",
+                SchedulerKind::Mwis {
+                    solver: spindown_core::sched::MwisSolver::GwMinRefined { passes: 4 },
+                    max_successors: 3,
+                },
+            ));
         }
+
+        let jobs = jobs.clamp(1, plan.len().max(1));
+        let mut metrics: Vec<Option<RunMetrics>> = (0..plan.len()).map(|_| None).collect();
+        if jobs == 1 {
+            for (slot, (rf, _, kind)) in metrics.iter_mut().zip(&plan) {
+                *slot = Some(run_experiment(requests, &spec_for(kind.clone(), *rf)));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<RunMetrics>>> =
+                (0..plan.len()).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..jobs {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= plan.len() {
+                            break;
+                        }
+                        let (rf, _, kind) = &plan[i];
+                        let m = run_experiment(requests, &spec_for(kind.clone(), *rf));
+                        *slots[i].lock().expect("no panics hold the slot lock") = Some(m);
+                    });
+                }
+            });
+            for (slot, cell) in metrics.iter_mut().zip(slots) {
+                *slot = cell.into_inner().expect("no panics hold the slot lock");
+            }
+        }
+
+        let cells = plan
+            .into_iter()
+            .zip(metrics)
+            .map(|((rf, scheduler, _), m)| GridCell {
+                rf,
+                scheduler,
+                metrics: m.expect("work queue computed every cell"),
+            })
+            .collect();
         let always_on = run_always_on_baseline(requests, &spec_for(SchedulerKind::Static, 1));
         EvalGrid { cells, always_on }
     }
@@ -130,6 +182,24 @@ mod tests {
         assert_eq!(c.rf, 3);
         assert!(c.metrics.energy_j > 0.0);
         assert!((grid.always_on.normalized_energy() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial() {
+        let scale = Scale {
+            requests: 300,
+            data_items: 120,
+            disks: 10,
+            rate: 3.0,
+        };
+        let reqs = workload::cello(scale, 7);
+        let serial = EvalGrid::compute_with_jobs(&reqs, scale, 1.0, 11, 1);
+        let wide = EvalGrid::compute_with_jobs(&reqs, scale, 1.0, 11, 8);
+        assert_eq!(format!("{:?}", serial.cells), format!("{:?}", wide.cells));
+        assert_eq!(
+            format!("{:?}", serial.always_on),
+            format!("{:?}", wide.always_on)
+        );
     }
 
     #[test]

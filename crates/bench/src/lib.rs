@@ -2,8 +2,9 @@
 //!
 //! The reproduction harness: regenerates every table and figure of the
 //! paper's evaluation section (Figs. 2–17) as plain-text reports, plus
-//! ablations the paper only gestures at. Criterion micro-benchmarks for
-//! the algorithmic substrates live under `benches/`.
+//! ablations the paper only gestures at. Zero-dependency micro-benchmarks
+//! for the algorithmic substrates live in [`harness`] (run them with
+//! `spindown bench`).
 //!
 //! Run everything at the paper's scale (180 disks, 70 000 requests):
 //!
@@ -22,8 +23,10 @@
 
 pub mod figures;
 pub mod grids;
+pub mod harness;
 pub mod table;
 pub mod workload;
 
 pub use figures::Harness;
+pub use harness::{run_benches, BenchConfig, BenchReport};
 pub use workload::Scale;

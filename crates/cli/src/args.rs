@@ -12,7 +12,7 @@ pub const USAGE: &str = "\
 spindown-cli — energy-aware disk scheduling simulator
 
 USAGE:
-    spindown-cli <simulate|compare|stats> [options]
+    spindown-cli <simulate|compare|stats|bench> [options]
 
 SOURCE (choose one):
     --trace <path>           SPC (.spc/.csv) or SRT (.srt/.txt) trace file
@@ -36,7 +36,13 @@ SCHEDULER (simulate):
     --beta <b>               Eq. 6 unit factor       [default: 100]
     --interval-ms <ms>       WSC batch interval      [default: 100]
 
+BENCH:
+    --iters <n>              timed iterations        [default: 5]
+    --warmup <n>             untimed warmup rounds   [default: 1]
+    --bench-out <path>       JSON output file        [default: BENCH_core.json]
+
 MISC:
+    --jobs, -j <n>           worker threads          [default: 1]
     --seed <n>               master seed             [default: 42]
     --help                   show this text";
 
@@ -127,6 +133,8 @@ pub enum Command {
     Compare,
     /// Print trace statistics only.
     Stats,
+    /// Run the zero-dependency micro-benchmarks and write JSON.
+    Bench,
 }
 
 /// Fully parsed invocation.
@@ -162,6 +170,14 @@ pub struct Cli {
     pub interval_ms: u64,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for parallel work (grids, benches).
+    pub jobs: usize,
+    /// Timed iterations for `bench`.
+    pub iters: usize,
+    /// Warmup rounds for `bench`.
+    pub warmup: usize,
+    /// Output path for the `bench` JSON report.
+    pub bench_out: PathBuf,
 }
 
 impl Default for Cli {
@@ -182,6 +198,10 @@ impl Default for Cli {
             beta: 100.0,
             interval_ms: 100,
             seed: 42,
+            jobs: 1,
+            iters: 5,
+            warmup: 1,
+            bench_out: PathBuf::from("BENCH_core.json"),
         }
     }
 }
@@ -227,6 +247,7 @@ impl Cli {
             Some("simulate") => Command::Simulate,
             Some("compare") => Command::Compare,
             Some("stats") => Command::Stats,
+            Some("bench") => Command::Bench,
             Some(other) => return Err(ParseError::UnknownCommand(other.into())),
             None => return Err(ParseError::MissingCommand),
         };
@@ -288,6 +309,20 @@ impl Cli {
                     cli.interval_ms = parse_num(&value("--interval-ms")?, "--interval-ms")?
                 }
                 "--seed" => cli.seed = parse_num(&value("--seed")?, "--seed")?,
+                "--jobs" | "-j" => {
+                    cli.jobs = parse_num(&value("--jobs")?, "--jobs")?;
+                    if cli.jobs == 0 {
+                        return Err(ParseError::BadValue("--jobs".into()));
+                    }
+                }
+                "--iters" => {
+                    cli.iters = parse_num(&value("--iters")?, "--iters")?;
+                    if cli.iters == 0 {
+                        return Err(ParseError::BadValue("--iters".into()));
+                    }
+                }
+                "--warmup" => cli.warmup = parse_num(&value("--warmup")?, "--warmup")?,
+                "--bench-out" => cli.bench_out = PathBuf::from(value("--bench-out")?),
                 other => return Err(ParseError::UnknownFlag(other.into())),
             }
         }
@@ -386,6 +421,36 @@ mod tests {
             Cli::parse(&argv("simulate --zipf inf")),
             Err(ParseError::BadValue("--zipf".into()))
         );
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let cli =
+            Cli::parse(&argv("bench --iters 9 --warmup 2 -j 4 --bench-out /tmp/b.json")).unwrap();
+        assert_eq!(cli.command, Command::Bench);
+        assert_eq!(cli.iters, 9);
+        assert_eq!(cli.warmup, 2);
+        assert_eq!(cli.jobs, 4);
+        assert_eq!(cli.bench_out, PathBuf::from("/tmp/b.json"));
+        let defaults = Cli::parse(&argv("bench")).unwrap();
+        assert_eq!(defaults.iters, 5);
+        assert_eq!(defaults.warmup, 1);
+        assert_eq!(defaults.jobs, 1);
+        assert_eq!(defaults.bench_out, PathBuf::from("BENCH_core.json"));
+        assert_eq!(
+            Cli::parse(&argv("bench --jobs 0")),
+            Err(ParseError::BadValue("--jobs".into()))
+        );
+        assert_eq!(
+            Cli::parse(&argv("bench --iters 0")),
+            Err(ParseError::BadValue("--iters".into()))
+        );
+    }
+
+    #[test]
+    fn jobs_flag_on_other_commands() {
+        let cli = Cli::parse(&argv("simulate --jobs 3")).unwrap();
+        assert_eq!(cli.jobs, 3);
     }
 
     #[test]

@@ -47,6 +47,9 @@ impl std::error::Error for CommandError {}
 
 /// Runs the parsed invocation and returns the textual report.
 pub fn execute(cli: &Cli) -> Result<String, CommandError> {
+    if cli.command == Command::Bench {
+        return bench_report(cli);
+    }
     let trace = load_trace(cli)?;
     match cli.command {
         Command::Stats => Ok(stats_report(&trace)),
@@ -59,7 +62,27 @@ pub fn execute(cli: &Cli) -> Result<String, CommandError> {
             let requests = requests_from_trace(&trace);
             Ok(compare_report(cli, &requests))
         }
+        Command::Bench => unreachable!("handled above"),
     }
+}
+
+/// Runs the zero-dependency micro-benchmarks, writes the JSON report to
+/// `cli.bench_out`, and returns the human-readable table.
+fn bench_report(cli: &Cli) -> Result<String, CommandError> {
+    let config = spindown_bench::BenchConfig {
+        warmup: cli.warmup,
+        iters: cli.iters,
+        jobs: cli.jobs,
+        seed: cli.seed,
+    };
+    let report = spindown_bench::run_benches(&config);
+    std::fs::write(&cli.bench_out, report.to_json())
+        .map_err(|e| CommandError::Io(cli.bench_out.clone(), e))?;
+    Ok(format!(
+        "{}\nwrote {}",
+        report.to_table(),
+        cli.bench_out.display()
+    ))
 }
 
 fn load_trace(cli: &Cli) -> Result<Trace, CommandError> {

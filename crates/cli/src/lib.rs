@@ -10,6 +10,7 @@
 //! spindown-cli simulate --trace financial1.spc --scheduler heuristic --alpha 0.2
 //! spindown-cli compare --synthetic cello --requests 8000 --disks 60
 //! spindown-cli stats --trace cello.srt
+//! spindown-cli bench --iters 5 --jobs 4        # micro-benchmarks -> BENCH_core.json
 //! ```
 //!
 //! The binary is a thin wrapper over [`run`]; everything is testable as a

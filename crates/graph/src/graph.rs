@@ -75,6 +75,13 @@ impl Graph {
     /// Adds the undirected edge `{u, v}`. Self-loops and duplicate edges
     /// are ignored. Returns `true` if the edge was newly inserted.
     ///
+    /// Each insertion scans the shorter endpoint's adjacency list to keep
+    /// the lists deduplicated, so this is `O(min degree)` per call —
+    /// `O(E · d̄)` for a bulk load of `E` edges at mean degree `d̄`. That
+    /// is the right trade for *incremental* mutation of an existing
+    /// graph; when all edges are known up front, accumulate them in a
+    /// [`GraphBuilder`] instead and pay one `O(E + n)` finalize pass.
+    ///
     /// # Panics
     ///
     /// Panics if either endpoint is out of range.
@@ -156,6 +163,187 @@ impl Graph {
     }
 }
 
+/// Bulk constructor for [`Graph`]: edges are scattered straight into the
+/// adjacency lists without any duplicate checking, and one deduplication
+/// pass runs at [`finalize`](GraphBuilder::finalize).
+///
+/// [`Graph::add_edge`] deduplicates on every insert with a linear scan of
+/// the shorter endpoint list, which is `O(E · d̄)` over a bulk load of
+/// `E` edges at mean degree `d̄`. The builder's
+/// [`add_edge`](GraphBuilder::add_edge) is two `O(1)`-amortized pushes —
+/// it bucket-sorts the edge stream by endpoint as it arrives — and
+/// `finalize` deduplicates every list in a single stamped sweep, `O(E +
+/// n)` total. Use the builder when edges arrive as a stream during
+/// construction — the conflict-graph build of §3.1.2 — and
+/// `Graph::add_edge` to mutate a graph that already exists.
+///
+/// `finalize` preserves **first-occurrence insertion order** within each
+/// adjacency list: the resulting graph is indistinguishable, neighbor
+/// order included, from one built by feeding the same edge sequence to
+/// `Graph::add_edge`. Order-sensitive consumers (`gwmin2`'s float
+/// accumulation, `local_search`'s first-improving scan) therefore see
+/// identical graphs on either path.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_graph::graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(1, 0); // duplicate: dropped at finalize
+/// b.add_edge(2, 2); // self-loop: ignored
+/// let g = b.finalize();
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    weights: Vec<f64>,
+    adj: Vec<Vec<NodeId>>,
+    recorded: usize,
+}
+
+impl GraphBuilder {
+    /// Creates a builder with `n` isolated nodes of weight 1.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            weights: vec![1.0; n],
+            adj: vec![Vec::new(); n],
+            recorded: 0,
+        }
+    }
+
+    /// Creates a builder from explicit node weights.
+    pub fn with_weights(weights: Vec<f64>) -> Self {
+        let n = weights.len();
+        GraphBuilder {
+            weights,
+            adj: vec![Vec::new(); n],
+            recorded: 0,
+        }
+    }
+
+    /// Number of nodes so far.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Appends a new node with the given weight, returning its id.
+    pub fn add_node(&mut self, weight: f64) -> NodeId {
+        self.weights.push(weight);
+        self.adj.push(Vec::new());
+        (self.weights.len() - 1) as NodeId
+    }
+
+    /// Pre-allocates each node's adjacency list for the given number of
+    /// incident edge records (indices past `hints.len()` keep their
+    /// current capacity). A caller that can bound degrees up front — the
+    /// conflict-graph build knows every node's bucket sizes before
+    /// emitting a single edge — skips all doubling reallocations and
+    /// their copy traffic during [`add_edge`](GraphBuilder::add_edge).
+    /// Hints are advisory: under-estimates just fall back to amortized
+    /// growth.
+    pub fn reserve_degrees(&mut self, hints: &[usize]) {
+        for (list, &hint) in self.adj.iter_mut().zip(hints) {
+            list.reserve(hint);
+        }
+    }
+
+    /// Records the undirected edge `{u, v}`. Self-loops are ignored;
+    /// duplicates are accepted here and collapsed by
+    /// [`finalize`](GraphBuilder::finalize). Two `O(1)`-amortized pushes,
+    /// no scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(
+            (u as usize) < self.len() && (v as usize) < self.len(),
+            "edge endpoint out of range"
+        );
+        if u == v {
+            return;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.recorded += 1;
+    }
+
+    /// Number of edge records accumulated (duplicates still counted).
+    pub fn pending_edges(&self) -> usize {
+        self.recorded
+    }
+
+    /// Deduplicates every adjacency list in one sweep and returns the
+    /// finished graph. `O(E + n)`: `stamp[v]` records the last node whose
+    /// list saw `v`, so a repeat within one list is detected in `O(1)`
+    /// with no clearing between nodes. A duplicate edge record put one
+    /// extra entry in *both* endpoint lists, and both are dropped here,
+    /// keeping the lists symmetric.
+    pub fn finalize(self) -> Graph {
+        let n = self.weights.len();
+        let mut adj = self.adj;
+        let mut stamp: Vec<u32> = vec![u32::MAX; n];
+        let mut half_edges = 0usize;
+        for (u, list) in adj.iter_mut().enumerate() {
+            list.retain(|&v| {
+                if stamp[v as usize] == u as u32 {
+                    false
+                } else {
+                    stamp[v as usize] = u as u32;
+                    true
+                }
+            });
+            half_edges += list.len();
+        }
+        Graph {
+            weights: self.weights,
+            adj,
+            edges: half_edges / 2,
+        }
+    }
+
+    /// Like [`finalize`](GraphBuilder::finalize), but for callers that
+    /// guarantee **no duplicate edges were recorded**: skips the
+    /// deduplication sweep entirely, making finalization a pure `O(n)`
+    /// edge count. The conflict-graph build qualifies — it emits every
+    /// conflict pair exactly once by construction.
+    ///
+    /// Debug builds verify the guarantee and panic on a duplicate;
+    /// release builds trust the caller, and a violated guarantee yields a
+    /// graph with duplicate adjacency entries and an inflated edge count.
+    pub fn finalize_unique(self) -> Graph {
+        #[cfg(debug_assertions)]
+        {
+            let n = self.weights.len();
+            let mut stamp: Vec<u32> = vec![u32::MAX; n];
+            for (u, list) in self.adj.iter().enumerate() {
+                for &v in list {
+                    assert_ne!(
+                        stamp[v as usize], u as u32,
+                        "finalize_unique: duplicate edge ({u}, {v})"
+                    );
+                    stamp[v as usize] = u as u32;
+                }
+            }
+        }
+        let half_edges: usize = self.adj.iter().map(Vec::len).sum();
+        Graph {
+            weights: self.weights,
+            adj: self.adj,
+            edges: half_edges / 2,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +410,72 @@ mod tests {
         assert!(g.is_empty());
         assert_eq!(g.total_weight(), 0.0);
         assert!(g.is_independent_set(&[]));
+    }
+
+    #[test]
+    fn builder_matches_incremental() {
+        let edges = [(0, 1), (1, 2), (1, 0), (3, 1), (2, 2), (0, 3), (3, 0)];
+        let mut g = Graph::with_weights(vec![1.0, 2.0, 3.0, 4.0]);
+        let mut b = GraphBuilder::with_weights(vec![1.0, 2.0, 3.0, 4.0]);
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+            b.add_edge(u, v);
+        }
+        assert_eq!(b.pending_edges(), 6, "self-loop dropped at insert");
+        let built = b.finalize();
+        assert_eq!(built.edge_count(), g.edge_count());
+        for v in 0..4 {
+            assert_eq!(built.neighbors(v), g.neighbors(v), "node {v}");
+            assert_eq!(built.weight(v), g.weight(v));
+        }
+    }
+
+    #[test]
+    fn finalize_unique_matches_finalize_on_unique_input() {
+        let edges = [(0, 1), (1, 2), (0, 3), (3, 1)];
+        let mut a = GraphBuilder::with_weights(vec![1.0; 4]);
+        let mut b = GraphBuilder::with_weights(vec![1.0; 4]);
+        a.reserve_degrees(&[3, 3, 1, 2]);
+        for &(u, v) in &edges {
+            a.add_edge(u, v);
+            b.add_edge(u, v);
+        }
+        let fast = a.finalize_unique();
+        let safe = b.finalize();
+        assert_eq!(fast.edge_count(), safe.edge_count());
+        for v in 0..4 {
+            assert_eq!(fast.neighbors(v), safe.neighbors(v), "node {v}");
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate edge")]
+    fn finalize_unique_catches_duplicates_in_debug() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let _ = b.finalize_unique();
+    }
+
+    #[test]
+    fn builder_add_node_and_empty() {
+        let mut b = GraphBuilder::new(0);
+        assert!(b.is_empty());
+        let u = b.add_node(5.0);
+        let v = b.add_node(7.0);
+        b.add_edge(v, u); // reversed orientation still lands as {u, v}
+        let g = b.finalize();
+        assert_eq!(g.len(), 2);
+        assert!(g.has_edge(u, v));
+        assert_eq!(g.weight(v), 7.0);
+        assert!(GraphBuilder::new(0).finalize().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_bounds_checked() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
     }
 }

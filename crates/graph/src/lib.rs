@@ -19,5 +19,5 @@ pub mod graph;
 pub mod mwis;
 pub mod setcover;
 
-pub use graph::{Graph, NodeId};
+pub use graph::{Graph, GraphBuilder, NodeId};
 pub use setcover::{Cover, SetCoverInstance, WeightedSet};

@@ -1,0 +1,134 @@
+//! Deterministic property checks for the trace substrate: parser
+//! round-trips on pseudo-random records and structural invariants of the
+//! generators (seeded `spindown_sim` RNG, identical cases every run).
+
+use spindown_sim::rng::SimRng;
+use spindown_sim::time::SimTime;
+use spindown_trace::record::{OpKind, Trace, TraceRecord};
+use spindown_trace::synth::{CelloLike, FinancialLike, TraceGenerator};
+use spindown_trace::{spc, srt};
+
+/// Pseudo-random trace records with ids that fit both wire formats
+/// (16-bit device, 48-bit address).
+fn random_records(rng: &mut SimRng) -> Vec<TraceRecord> {
+    (0..rng.index(100))
+        .map(|_| TraceRecord {
+            at: SimTime::from_micros(rng.next_below(1_000_000_000)),
+            data: spc::data_id(rng.next_below(100) as u16, rng.next_below(1u64 << 40)),
+            size: 1 + rng.next_below(10_000_000 - 1),
+            op: if rng.chance(0.5) {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            },
+        })
+        .collect()
+}
+
+/// SPC serialization parses back to the identical trace.
+#[test]
+fn spc_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0x71ace1);
+    for _ in 0..64 {
+        let trace = Trace::from_records(random_records(&mut rng));
+        let text = spc::to_string(&trace);
+        let parsed = spc::parse(&text).expect("own output must parse");
+        assert_eq!(parsed.records(), trace.records());
+    }
+}
+
+/// SRT serialization parses back to the identical trace.
+#[test]
+fn srt_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0x71ace2);
+    for _ in 0..64 {
+        let trace = Trace::from_records(random_records(&mut rng));
+        let text = srt::to_string(&trace);
+        let parsed = srt::parse(&text).expect("own output must parse");
+        assert_eq!(parsed.records(), trace.records());
+    }
+}
+
+/// Trace construction invariants: sorted, rebasing anchors at zero,
+/// densification preserves access patterns.
+#[test]
+fn trace_transforms_preserve_structure() {
+    let mut rng = SimRng::seed_from_u64(0x71ace3);
+    for _ in 0..64 {
+        let trace = Trace::from_records(random_records(&mut rng));
+        assert!(trace.records().windows(2).all(|w| w[0].at <= w[1].at));
+
+        let rebased = trace.rebased();
+        assert_eq!(rebased.len(), trace.len());
+        if !rebased.is_empty() {
+            assert_eq!(rebased.start(), Some(SimTime::ZERO));
+            assert_eq!(rebased.duration(), trace.duration());
+        }
+
+        let dense = trace.densified();
+        assert_eq!(dense.unique_data(), trace.unique_data());
+        assert!(dense.data_space() as usize == dense.unique_data());
+        // Same-data relations are preserved.
+        for (a, b) in trace.records().iter().zip(dense.records()) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.size, b.size);
+        }
+        for i in 0..trace.len() {
+            for j in (i + 1)..trace.len().min(i + 10) {
+                let same_before = trace.records()[i].data == trace.records()[j].data;
+                let same_after = dense.records()[i].data == dense.records()[j].data;
+                assert_eq!(same_before, same_after);
+            }
+        }
+    }
+}
+
+/// reads_only + the write complement partition the trace.
+#[test]
+fn read_write_split_partitions() {
+    let mut rng = SimRng::seed_from_u64(0x71ace4);
+    for _ in 0..64 {
+        let trace = Trace::from_records(random_records(&mut rng));
+        let reads = trace.reads_only();
+        let writes = trace.len() - reads.len();
+        let actual_writes = trace
+            .records()
+            .iter()
+            .filter(|r| r.op == OpKind::Write)
+            .count();
+        assert_eq!(writes, actual_writes);
+    }
+}
+
+/// Generators honor their request count and stay time-sorted for any
+/// modest parameterization.
+#[test]
+fn generators_hold_structural_invariants() {
+    let mut rng = SimRng::seed_from_u64(0x71ace5);
+    for _ in 0..24 {
+        let n = 1 + rng.index(1_999);
+        let items = 1 + rng.index(999);
+        let z = rng.next_f64() * 1.5;
+        let seed = rng.next_below(100);
+        let cello = CelloLike {
+            requests: n,
+            data_items: items,
+            popularity_z: z,
+            ..CelloLike::default()
+        }
+        .generate(seed);
+        assert_eq!(cello.len(), n);
+        assert!(cello.records().windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(cello.unique_data() <= items);
+
+        let fin = FinancialLike {
+            requests: n,
+            data_items: items,
+            popularity_z: z,
+            ..FinancialLike::default()
+        }
+        .generate(seed);
+        assert_eq!(fin.len(), n);
+        assert!(fin.records().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}
