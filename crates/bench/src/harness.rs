@@ -2,12 +2,18 @@
 //!
 //! Times the algorithmic substrates — conflict-graph construction (bulk
 //! [`GraphBuilder`](spindown_graph::GraphBuilder) path versus the
-//! incremental `add_edge` baseline), each MWIS solver, and full
-//! experiment-grid evaluation — over a configurable warmup + iteration
-//! count, reporting median/p10/p90 wall times. The `spindown bench`
-//! subcommand renders a [`BenchReport`] to JSON (`BENCH_core.json` at the
-//! repo root by default); no external benchmarking crate is involved, so
-//! the harness runs in fully offline builds.
+//! incremental `add_edge` baseline), each MWIS solver (the production
+//! CSR backend, the adjacency-list backend, and the eager-cascade
+//! reference engine), and full experiment-grid evaluation — over a
+//! configurable warmup + iteration count, reporting median/p10/p90 wall
+//! times. The `spindown bench` subcommand renders a [`BenchReport`] to
+//! JSON (`BENCH_core.json` at the repo root by default); no external
+//! benchmarking crate is involved, so the harness runs in fully offline
+//! builds.
+//!
+//! [`BenchConfig::filter`] restricts a run to benchmarks whose name
+//! contains a substring; fixtures are built lazily, so a filtered run
+//! pays only for the workloads its benchmarks touch.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -23,7 +29,7 @@ use crate::grids::EvalGrid;
 use crate::workload::{self, Scale};
 
 /// Knobs of one harness run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchConfig {
     /// Untimed iterations before sampling starts.
     pub warmup: usize,
@@ -33,6 +39,10 @@ pub struct BenchConfig {
     pub jobs: usize,
     /// Workload seed shared by every fixture.
     pub seed: u64,
+    /// Substring filter: only benchmarks whose name contains this run
+    /// (`None` runs everything). Derived ratios are emitted only when
+    /// both of their component benchmarks ran.
+    pub filter: Option<String>,
 }
 
 impl Default for BenchConfig {
@@ -42,6 +52,7 @@ impl Default for BenchConfig {
             iters: 5,
             jobs: 1,
             seed: 42,
+            filter: None,
         }
     }
 }
@@ -83,6 +94,15 @@ pub struct BenchEntry {
     pub stats: BenchStats,
 }
 
+/// One derived (ratio) result — a median-over-median speedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedEntry {
+    /// Derived id (stable, snake_case — the JSON key).
+    pub name: &'static str,
+    /// The ratio value.
+    pub value: f64,
+}
+
 /// The full harness output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -90,9 +110,12 @@ pub struct BenchReport {
     pub config: BenchConfig,
     /// All benchmark results, in execution order.
     pub entries: Vec<BenchEntry>,
-    /// Median-over-median speedup of the bulk conflict-graph build over
-    /// the incremental `add_edge` baseline at the medium scale.
-    pub graph_build_speedup_medium: f64,
+    /// Median-over-median speedups computed from this run's entries:
+    /// `graph_build_speedup_medium` (bulk vs incremental build),
+    /// `mwis_speedup_gwmin` / `mwis_speedup_gwmin2` (eager cascade on
+    /// adjacency lists vs coalesced cascade on CSR — the pre-CSR
+    /// implementation against the production one).
+    pub derived: Vec<DerivedEntry>,
 }
 
 impl BenchReport {
@@ -102,6 +125,14 @@ impl BenchReport {
             .iter()
             .find(|e| e.name == name)
             .map(|e| e.stats)
+    }
+
+    /// Value of a derived ratio by name.
+    pub fn derived(&self, name: &str) -> Option<f64> {
+        self.derived
+            .iter()
+            .find(|d| d.name == name)
+            .map(|d| d.value)
     }
 
     /// Renders the report as a JSON object (hand-emitted; the values are
@@ -125,10 +156,10 @@ impl BenchReport {
         }
         s.push_str("  },\n");
         s.push_str("  \"derived\": {\n");
-        s.push_str(&format!(
-            "    \"graph_build_speedup_medium\": {:.3}\n",
-            self.graph_build_speedup_medium
-        ));
+        for (i, d) in self.derived.iter().enumerate() {
+            let comma = if i + 1 == self.derived.len() { "" } else { "," };
+            s.push_str(&format!("    \"{}\": {:.3}{comma}\n", d.name, d.value));
+        }
         s.push_str("  }\n}\n");
         s
     }
@@ -149,10 +180,13 @@ impl BenchReport {
                 fmt_ns(e.stats.p90_ns)
             ));
         }
-        s.push_str(&format!(
-            "graph build speedup (medium, bulk vs incremental): {:.2}x",
-            self.graph_build_speedup_medium
-        ));
+        for d in &self.derived {
+            s.push_str(&format!("{}: {:.2}x\n", d.name, d.value));
+        }
+        if let Some(f) = &self.config.filter {
+            s.push_str(&format!("(filtered: \"{f}\")\n"));
+        }
+        s.pop();
         s
     }
 }
@@ -242,9 +276,10 @@ fn medium_scale() -> Scale {
 }
 
 /// The MWIS-solver scale: moderate density (~190k nodes, ~7M edges). The
-/// greedy solvers' deletion cascade is `O(E · d̄)`, so on the deliberately
-/// dense [`medium_scale`] graph a single gwmin run takes ~45 s — too slow
-/// to iterate on. This keeps a solver iteration in single-digit seconds.
+/// greedy solvers' deletion cascade is `O(E · d̄)` in heap traffic on the
+/// eager engine, so on the deliberately dense [`medium_scale`] graph a
+/// single eager gwmin run takes ~45 s — too slow to iterate on. This
+/// keeps a solver iteration in single-digit seconds.
 fn solver_scale() -> Scale {
     Scale {
         requests: 8_000,
@@ -265,142 +300,264 @@ fn grid_medium_scale() -> Scale {
     }
 }
 
-/// Runs the whole suite under `config`.
+/// Runs the whole suite under `config`, honoring its name filter.
 pub fn run_benches(config: &BenchConfig) -> BenchReport {
-    let mut entries = Vec::new();
-    let mut push = |name: &'static str, stats: BenchStats| {
-        entries.push(BenchEntry { name, stats });
-        stats
+    let mut entries: Vec<BenchEntry> = Vec::new();
+    let mut derived: Vec<DerivedEntry> = Vec::new();
+    let want = |name: &str| match &config.filter {
+        Some(f) => name.contains(f.as_str()),
+        None => true,
     };
     let (warmup, iters) = (config.warmup, config.iters);
 
-    // Conflict-graph construction: bulk (GraphBuilder) vs incremental
-    // (Graph::add_edge), small and medium density.
-    let small = GraphFixture::new(small_scale(), 3, 8, config.seed);
-    push(
-        "graph_build_bulk_small",
-        time_ns(warmup, iters, || {
-            black_box(small.planner.build_graph(&small.requests, &small.placement));
-        }),
-    );
-    push(
-        "graph_build_incremental_small",
-        time_ns(warmup, iters, || {
-            black_box(
-                small
-                    .planner
-                    .build_graph_incremental(&small.requests, &small.placement),
-            );
-        }),
-    );
-    // The derived bulk/incremental ratio is the headline number, so the
-    // two medium builds get extra samples: iterations here are cheap
-    // (hundreds of ms) and the medians must hold still on noisy shared
-    // hosts.
+    // Conflict-graph construction: bulk (GraphBuilder -> CSR) vs
+    // incremental (Graph::add_edge), small and medium density. All four
+    // build benches get extra samples: iterations are cheap (tens to
+    // hundreds of ms — the small ones especially are noise-dominated at
+    // few samples) and their medians feed the derived ratio and the CI
+    // regression gate, so they must hold still on noisy shared hosts.
     let gb_iters = iters.max(1) * 2 + 1;
-    let medium = GraphFixture::new(medium_scale(), 3, 32, config.seed);
-    let bulk_medium = push(
-        "graph_build_bulk_medium",
-        time_ns(warmup, gb_iters, || {
-            black_box(
-                medium
-                    .planner
-                    .build_graph(&medium.requests, &medium.placement),
-            );
-        }),
-    );
-    let incr_medium = push(
-        "graph_build_incremental_medium",
-        time_ns(warmup, gb_iters, || {
-            black_box(
-                medium
-                    .planner
-                    .build_graph_incremental(&medium.requests, &medium.placement),
-            );
-        }),
-    );
-    let graph_build_speedup_medium = incr_medium.median_ns as f64 / bulk_medium.median_ns as f64;
+    if want("graph_build_bulk_small") || want("graph_build_incremental_small") {
+        let small = GraphFixture::new(small_scale(), 3, 8, config.seed);
+        if want("graph_build_bulk_small") {
+            entries.push(BenchEntry {
+                name: "graph_build_bulk_small",
+                stats: time_ns(warmup, gb_iters, || {
+                    black_box(small.planner.build_graph(&small.requests, &small.placement));
+                }),
+            });
+        }
+        if want("graph_build_incremental_small") {
+            entries.push(BenchEntry {
+                name: "graph_build_incremental_small",
+                stats: time_ns(warmup, gb_iters, || {
+                    black_box(
+                        small
+                            .planner
+                            .build_graph_incremental(&small.requests, &small.placement),
+                    );
+                }),
+            });
+        }
+    }
+    if want("graph_build_bulk_medium") || want("graph_build_incremental_medium") {
+        let medium = GraphFixture::new(medium_scale(), 3, 32, config.seed);
+        let mut bulk_medium = None;
+        let mut incr_medium = None;
+        if want("graph_build_bulk_medium") {
+            let stats = time_ns(warmup, gb_iters, || {
+                black_box(
+                    medium
+                        .planner
+                        .build_graph(&medium.requests, &medium.placement),
+                );
+            });
+            entries.push(BenchEntry {
+                name: "graph_build_bulk_medium",
+                stats,
+            });
+            bulk_medium = Some(stats);
+        }
+        if want("graph_build_incremental_medium") {
+            let stats = time_ns(warmup, gb_iters, || {
+                black_box(
+                    medium
+                        .planner
+                        .build_graph_incremental(&medium.requests, &medium.placement),
+                );
+            });
+            entries.push(BenchEntry {
+                name: "graph_build_incremental_medium",
+                stats,
+            });
+            incr_medium = Some(stats);
+        }
+        if let (Some(bulk), Some(incr)) = (bulk_medium, incr_medium) {
+            derived.push(DerivedEntry {
+                name: "graph_build_speedup_medium",
+                value: incr.median_ns as f64 / bulk.median_ns as f64,
+            });
+        }
+    }
 
     // MWIS solvers on a moderate-density conflict graph (see
-    // [`solver_scale`] for why not the medium one).
-    let solver_fix = GraphFixture::new(solver_scale(), 3, 8, config.seed);
-    let cg = solver_fix
-        .planner
-        .build_graph(&solver_fix.requests, &solver_fix.placement);
-    push(
+    // [`solver_scale`] for why not the medium one). Three configurations
+    // per greedy:
+    //   *            — coalesced cascade on the CSR backend (production);
+    //   *_adjacency  — coalesced cascade on the adjacency-list backend
+    //                  (isolates the storage layout);
+    //   *_eager      — eager cascade on the adjacency-list backend (the
+    //                  pre-CSR implementation; isolates the cascade when
+    //                  read against *_adjacency).
+    let solver_names = [
         "mwis_gwmin",
-        time_ns(warmup, iters, || {
-            black_box(solvers::gwmin(&cg.graph));
-        }),
-    );
-    push(
         "mwis_gwmin2",
-        time_ns(warmup, iters, || {
-            black_box(solvers::gwmin2(&cg.graph));
-        }),
-    );
-    let start = solvers::gwmin(&cg.graph);
-    push(
+        "mwis_gwmin_adjacency",
+        "mwis_gwmin2_adjacency",
+        "mwis_gwmin_eager",
+        "mwis_gwmin2_eager",
         "mwis_local_search",
-        time_ns(warmup, iters, || {
-            black_box(solvers::local_search(&cg.graph, &start));
-        }),
-    );
+    ];
+    if solver_names.iter().any(|n| want(n)) {
+        let solver_fix = GraphFixture::new(solver_scale(), 3, 8, config.seed);
+        let cg = solver_fix
+            .planner
+            .build_graph(&solver_fix.requests, &solver_fix.placement);
+        let mut csr_gwmin = None;
+        let mut csr_gwmin2 = None;
+        if want("mwis_gwmin") {
+            // NB: "mwis_gwmin" is a substring of every gwmin variant, so a
+            // `--filter mwis_gwmin` run times all of them — that is the
+            // comparison someone filtering on the name wants.
+            let stats = time_ns(warmup, iters, || {
+                black_box(solvers::gwmin(&cg.graph));
+            });
+            entries.push(BenchEntry {
+                name: "mwis_gwmin",
+                stats,
+            });
+            csr_gwmin = Some(stats);
+        }
+        if want("mwis_gwmin2") {
+            let stats = time_ns(warmup, iters, || {
+                black_box(solvers::gwmin2(&cg.graph));
+            });
+            entries.push(BenchEntry {
+                name: "mwis_gwmin2",
+                stats,
+            });
+            csr_gwmin2 = Some(stats);
+        }
+        if [
+            "mwis_gwmin_adjacency",
+            "mwis_gwmin2_adjacency",
+            "mwis_gwmin_eager",
+            "mwis_gwmin2_eager",
+        ]
+        .iter()
+        .any(|n| want(n))
+        {
+            let cg_adj = solver_fix
+                .planner
+                .build_graph_incremental(&solver_fix.requests, &solver_fix.placement);
+            if want("mwis_gwmin_adjacency") {
+                entries.push(BenchEntry {
+                    name: "mwis_gwmin_adjacency",
+                    stats: time_ns(warmup, iters, || {
+                        black_box(solvers::gwmin(&cg_adj.graph));
+                    }),
+                });
+            }
+            if want("mwis_gwmin2_adjacency") {
+                entries.push(BenchEntry {
+                    name: "mwis_gwmin2_adjacency",
+                    stats: time_ns(warmup, iters, || {
+                        black_box(solvers::gwmin2(&cg_adj.graph));
+                    }),
+                });
+            }
+            if want("mwis_gwmin_eager") {
+                let stats = time_ns(warmup, iters, || {
+                    black_box(solvers::baseline::gwmin(&cg_adj.graph));
+                });
+                entries.push(BenchEntry {
+                    name: "mwis_gwmin_eager",
+                    stats,
+                });
+                if let Some(csr) = csr_gwmin {
+                    derived.push(DerivedEntry {
+                        name: "mwis_speedup_gwmin",
+                        value: stats.median_ns as f64 / csr.median_ns as f64,
+                    });
+                }
+            }
+            if want("mwis_gwmin2_eager") {
+                let stats = time_ns(warmup, iters, || {
+                    black_box(solvers::baseline::gwmin2(&cg_adj.graph));
+                });
+                entries.push(BenchEntry {
+                    name: "mwis_gwmin2_eager",
+                    stats,
+                });
+                if let Some(csr) = csr_gwmin2 {
+                    derived.push(DerivedEntry {
+                        name: "mwis_speedup_gwmin2",
+                        value: stats.median_ns as f64 / csr.median_ns as f64,
+                    });
+                }
+            }
+        }
+        if want("mwis_local_search") {
+            let start = solvers::gwmin(&cg.graph);
+            entries.push(BenchEntry {
+                name: "mwis_local_search",
+                stats: time_ns(warmup, iters, || {
+                    black_box(solvers::local_search(&cg.graph, &start));
+                }),
+            });
+        }
+    }
 
     // Exact branch-and-bound on a deliberately tiny graph: the solver is
     // exponential, and already at ~200 nodes a single solve takes hours.
     // 18 requests -> 60 nodes, tens of milliseconds.
-    let tiny = GraphFixture::new(
-        Scale {
-            requests: 18,
-            data_items: 12,
-            disks: 4,
-            rate: 2.0,
-        },
-        2,
-        2,
-        config.seed,
-    );
-    let tiny_cg = tiny.planner.build_graph(&tiny.requests, &tiny.placement);
-    push(
-        "mwis_exact_small",
-        time_ns(warmup, iters, || {
-            black_box(solvers::exact(&tiny_cg.graph, usize::MAX));
-        }),
-    );
+    if want("mwis_exact_small") {
+        let tiny = GraphFixture::new(
+            Scale {
+                requests: 18,
+                data_items: 12,
+                disks: 4,
+                rate: 2.0,
+            },
+            2,
+            2,
+            config.seed,
+        );
+        let tiny_cg = tiny.planner.build_graph(&tiny.requests, &tiny.placement);
+        entries.push(BenchEntry {
+            name: "mwis_exact_small",
+            stats: time_ns(warmup, iters, || {
+                black_box(solvers::exact(&tiny_cg.graph, usize::MAX));
+            }),
+        });
+    }
 
     // Full experiment grids (30 simulations each), small and medium.
-    let grid_small_reqs = workload::cello(small_scale(), config.seed);
-    push(
-        "grid_eval_small",
-        time_ns(warmup, iters, || {
-            black_box(EvalGrid::compute_with_jobs(
-                &grid_small_reqs,
-                small_scale(),
-                1.0,
-                config.seed,
-                config.jobs,
-            ));
-        }),
-    );
-    let grid_medium_reqs = workload::cello(grid_medium_scale(), config.seed);
-    push(
-        "grid_eval_medium",
-        time_ns(warmup, iters, || {
-            black_box(EvalGrid::compute_with_jobs(
-                &grid_medium_reqs,
-                grid_medium_scale(),
-                1.0,
-                config.seed,
-                config.jobs,
-            ));
-        }),
-    );
+    if want("grid_eval_small") {
+        let grid_small_reqs = workload::cello(small_scale(), config.seed);
+        entries.push(BenchEntry {
+            name: "grid_eval_small",
+            stats: time_ns(warmup, iters, || {
+                black_box(EvalGrid::compute_with_jobs(
+                    &grid_small_reqs,
+                    small_scale(),
+                    1.0,
+                    config.seed,
+                    config.jobs,
+                ));
+            }),
+        });
+    }
+    if want("grid_eval_medium") {
+        let grid_medium_reqs = workload::cello(grid_medium_scale(), config.seed);
+        entries.push(BenchEntry {
+            name: "grid_eval_medium",
+            stats: time_ns(warmup, iters, || {
+                black_box(EvalGrid::compute_with_jobs(
+                    &grid_medium_reqs,
+                    grid_medium_scale(),
+                    1.0,
+                    config.seed,
+                    config.jobs,
+                ));
+            }),
+        });
+    }
 
     BenchReport {
-        config: *config,
+        config: config.clone(),
         entries,
-        graph_build_speedup_medium,
+        derived,
     }
 }
 
@@ -440,21 +597,75 @@ mod tests {
                     },
                 },
             ],
-            graph_build_speedup_medium: 2.5,
+            derived: vec![
+                DerivedEntry {
+                    name: "graph_build_speedup_medium",
+                    value: 2.5,
+                },
+                DerivedEntry {
+                    name: "mwis_speedup_gwmin",
+                    value: 3.25,
+                },
+            ],
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"spindown-bench-v1\""));
         assert!(json.contains("\"a\": {\"median_ns\": 10, \"p10_ns\": 5, \"p90_ns\": 20},"));
         assert!(json.contains("\"b\": {\"median_ns\": 30, \"p10_ns\": 25, \"p90_ns\": 40}\n"));
-        assert!(json.contains("\"graph_build_speedup_medium\": 2.500"));
+        assert!(json.contains("\"graph_build_speedup_medium\": 2.500,"));
+        assert!(json.contains("\"mwis_speedup_gwmin\": 3.250\n"));
         assert_eq!(report.stats("b").unwrap().median_ns, 30);
         assert!(report.stats("c").is_none());
+        assert_eq!(report.derived("mwis_speedup_gwmin"), Some(3.25));
+        assert!(report.derived("missing").is_none());
         // Balanced braces — cheap structural sanity for the hand emitter.
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "unbalanced JSON"
         );
+    }
+
+    #[test]
+    fn empty_report_keeps_valid_shape() {
+        let report = BenchReport {
+            config: BenchConfig {
+                filter: Some("nothing".into()),
+                ..BenchConfig::default()
+            },
+            entries: vec![],
+            derived: vec![],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"benches\": {\n  },"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(report.to_table().contains("(filtered: \"nothing\")"));
+    }
+
+    #[test]
+    fn filter_skips_unmatched_benches() {
+        // A filter that matches nothing must run nothing (and build no
+        // fixtures — this test would take minutes otherwise).
+        let report = run_benches(&BenchConfig {
+            warmup: 0,
+            iters: 1,
+            filter: Some("no_such_bench".into()),
+            ..BenchConfig::default()
+        });
+        assert!(report.entries.is_empty());
+        assert!(report.derived.is_empty());
+
+        // A narrow filter runs exactly its match; no derived ratios
+        // without their counterparts.
+        let report = run_benches(&BenchConfig {
+            warmup: 0,
+            iters: 1,
+            filter: Some("mwis_exact".into()),
+            ..BenchConfig::default()
+        });
+        let names: Vec<&str> = report.entries.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["mwis_exact_small"]);
+        assert!(report.derived.is_empty());
     }
 
     #[test]

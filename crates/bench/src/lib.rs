@@ -4,7 +4,8 @@
 //! paper's evaluation section (Figs. 2–17) as plain-text reports, plus
 //! ablations the paper only gestures at. Zero-dependency micro-benchmarks
 //! for the algorithmic substrates live in [`harness`] (run them with
-//! `spindown bench`).
+//! `spindown bench`); [`regression`] gates a fresh run against a
+//! committed baseline report (`spindown bench --bench-baseline`).
 //!
 //! Run everything at the paper's scale (180 disks, 70 000 requests):
 //!
@@ -24,9 +25,11 @@
 pub mod figures;
 pub mod grids;
 pub mod harness;
+pub mod regression;
 pub mod table;
 pub mod workload;
 
 pub use figures::Harness;
 pub use harness::{run_benches, BenchConfig, BenchReport};
+pub use regression::{check, parse_baseline, GateReport};
 pub use workload::Scale;

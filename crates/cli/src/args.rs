@@ -39,7 +39,10 @@ SCHEDULER (simulate):
 BENCH:
     --iters <n>              timed iterations        [default: 5]
     --warmup <n>             untimed warmup rounds   [default: 1]
+    --filter <substr>        run only benchmarks whose name contains this
     --bench-out <path>       JSON output file        [default: BENCH_core.json]
+    --bench-baseline <path>  gate against a committed report; exit nonzero
+                             if any median regresses >25%
 
 MISC:
     --jobs, -j <n>           worker threads          [default: 1]
@@ -176,8 +179,13 @@ pub struct Cli {
     pub iters: usize,
     /// Warmup rounds for `bench`.
     pub warmup: usize,
+    /// Substring filter for `bench`: run only matching benchmarks.
+    pub filter: Option<String>,
     /// Output path for the `bench` JSON report.
     pub bench_out: PathBuf,
+    /// Baseline report to gate `bench` against (exit nonzero on
+    /// regression); `None` skips the gate.
+    pub bench_baseline: Option<PathBuf>,
 }
 
 impl Default for Cli {
@@ -201,7 +209,9 @@ impl Default for Cli {
             jobs: 1,
             iters: 5,
             warmup: 1,
+            filter: None,
             bench_out: PathBuf::from("BENCH_core.json"),
+            bench_baseline: None,
         }
     }
 }
@@ -322,7 +332,11 @@ impl Cli {
                     }
                 }
                 "--warmup" => cli.warmup = parse_num(&value("--warmup")?, "--warmup")?,
+                "--filter" => cli.filter = Some(value("--filter")?),
                 "--bench-out" => cli.bench_out = PathBuf::from(value("--bench-out")?),
+                "--bench-baseline" => {
+                    cli.bench_baseline = Some(PathBuf::from(value("--bench-baseline")?))
+                }
                 other => return Err(ParseError::UnknownFlag(other.into())),
             }
         }
@@ -425,18 +439,32 @@ mod tests {
 
     #[test]
     fn parses_bench_flags() {
-        let cli =
-            Cli::parse(&argv("bench --iters 9 --warmup 2 -j 4 --bench-out /tmp/b.json")).unwrap();
+        let cli = Cli::parse(&argv(
+            "bench --iters 9 --warmup 2 -j 4 --filter mwis_gwmin \
+             --bench-out /tmp/b.json --bench-baseline BENCH_core.json",
+        ))
+        .unwrap();
         assert_eq!(cli.command, Command::Bench);
         assert_eq!(cli.iters, 9);
         assert_eq!(cli.warmup, 2);
         assert_eq!(cli.jobs, 4);
+        assert_eq!(cli.filter.as_deref(), Some("mwis_gwmin"));
         assert_eq!(cli.bench_out, PathBuf::from("/tmp/b.json"));
+        assert_eq!(
+            cli.bench_baseline,
+            Some(PathBuf::from("BENCH_core.json"))
+        );
         let defaults = Cli::parse(&argv("bench")).unwrap();
         assert_eq!(defaults.iters, 5);
         assert_eq!(defaults.warmup, 1);
         assert_eq!(defaults.jobs, 1);
+        assert_eq!(defaults.filter, None);
         assert_eq!(defaults.bench_out, PathBuf::from("BENCH_core.json"));
+        assert_eq!(defaults.bench_baseline, None);
+        assert_eq!(
+            Cli::parse(&argv("bench --filter")),
+            Err(ParseError::BadValue("--filter".into()))
+        );
         assert_eq!(
             Cli::parse(&argv("bench --jobs 0")),
             Err(ParseError::BadValue("--jobs".into()))

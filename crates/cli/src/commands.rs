@@ -18,7 +18,7 @@ use spindown_trace::{spc, srt};
 
 use crate::args::{Cli, Command, SchedulerArg, SourceArg};
 
-/// Command failures (I/O, parsing).
+/// Command failures (I/O, parsing, bench regressions).
 #[derive(Debug)]
 pub enum CommandError {
     /// The trace file could not be read.
@@ -27,6 +27,8 @@ pub enum CommandError {
     Parse(String),
     /// The file extension is not recognized.
     UnknownFormat(std::path::PathBuf),
+    /// The bench regression gate failed (carries the full gate report).
+    BenchRegression(String),
 }
 
 impl std::fmt::Display for CommandError {
@@ -39,6 +41,7 @@ impl std::fmt::Display for CommandError {
                 "unrecognized trace extension on {} (expected .spc/.csv or .srt/.txt)",
                 p.display()
             ),
+            CommandError::BenchRegression(text) => write!(f, "{text}"),
         }
     }
 }
@@ -67,22 +70,33 @@ pub fn execute(cli: &Cli) -> Result<String, CommandError> {
 }
 
 /// Runs the zero-dependency micro-benchmarks, writes the JSON report to
-/// `cli.bench_out`, and returns the human-readable table.
+/// `cli.bench_out`, and returns the human-readable table. With
+/// `--bench-baseline`, additionally gates the run against the committed
+/// report and fails (nonzero exit) on any >25% median regression.
 fn bench_report(cli: &Cli) -> Result<String, CommandError> {
     let config = spindown_bench::BenchConfig {
         warmup: cli.warmup,
         iters: cli.iters,
         jobs: cli.jobs,
         seed: cli.seed,
+        filter: cli.filter.clone(),
     };
     let report = spindown_bench::run_benches(&config);
     std::fs::write(&cli.bench_out, report.to_json())
         .map_err(|e| CommandError::Io(cli.bench_out.clone(), e))?;
-    Ok(format!(
-        "{}\nwrote {}",
-        report.to_table(),
-        cli.bench_out.display()
-    ))
+    let mut out = format!("{}\nwrote {}", report.to_table(), cli.bench_out.display());
+    if let Some(baseline_path) = &cli.bench_baseline {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| CommandError::Io(baseline_path.clone(), e))?;
+        let baseline = spindown_bench::parse_baseline(&text).map_err(CommandError::Parse)?;
+        let gate =
+            spindown_bench::check(&report, &baseline, spindown_bench::regression::DEFAULT_TOLERANCE);
+        if !gate.passed() {
+            return Err(CommandError::BenchRegression(gate.to_text()));
+        }
+        let _ = write!(out, "\n{}", gate.to_text().trim_end());
+    }
+    Ok(out)
 }
 
 fn load_trace(cli: &Cli) -> Result<Trace, CommandError> {
@@ -341,5 +355,59 @@ mod tests {
     fn sstf_discipline_runs() {
         let report = execute(&small_cli("--discipline sstf")).unwrap();
         assert!(report.contains("sstf queue"));
+    }
+
+    fn bench_cli(extra: &str) -> Cli {
+        let argv: Vec<String> = format!("bench --iters 1 --warmup 0 {extra}")
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        Cli::parse(&argv).unwrap()
+    }
+
+    fn fake_baseline(median_ns: u64) -> String {
+        format!(
+            "{{\n  \"schema\": \"spindown-bench-v1\",\n  \"benches\": {{\n    \
+             \"mwis_exact_small\": {{\"median_ns\": {median_ns}, \"p10_ns\": {median_ns}, \
+             \"p90_ns\": {median_ns}}}\n  }}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn bench_filter_and_regression_gate() {
+        let dir = std::env::temp_dir().join("spindown-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("bench_gate_out.json");
+        let base = dir.join("bench_gate_base.json");
+
+        // Generous baseline: the gate must pass and report the ratio.
+        std::fs::write(&base, fake_baseline(u64::MAX / 2)).unwrap();
+        let mut cli = bench_cli("--filter mwis_exact");
+        cli.bench_out = out.clone();
+        cli.bench_baseline = Some(base.clone());
+        let report = execute(&cli).unwrap();
+        assert!(report.contains("mwis_exact_small"));
+        assert!(!report.contains("grid_eval"), "filter leaked other benches");
+        assert!(report.contains("bench regression gate: PASS"));
+
+        // Impossible baseline (1 ns): the gate must fail with details.
+        std::fs::write(&base, fake_baseline(1)).unwrap();
+        let err = execute(&cli).unwrap_err();
+        match err {
+            CommandError::BenchRegression(text) => {
+                assert!(text.contains("REGRESSED"));
+                assert!(text.contains("mwis_exact_small"));
+            }
+            other => panic!("expected BenchRegression, got {other:?}"),
+        }
+
+        // Corrupt baseline: reported as a parse error, not a pass.
+        std::fs::write(&base, "{}").unwrap();
+        assert!(matches!(
+            execute(&cli).unwrap_err(),
+            CommandError::Parse(_)
+        ));
+        std::fs::remove_file(out).ok();
+        std::fs::remove_file(base).ok();
     }
 }

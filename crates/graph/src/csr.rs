@@ -1,0 +1,273 @@
+//! Compressed-sparse-row (CSR) graph storage.
+//!
+//! [`CsrGraph`] is the frozen counterpart of [`Graph`](crate::graph::Graph):
+//! the whole adjacency lives in two flat arrays (`offsets` + `neighbors`)
+//! instead of one heap-allocated `Vec` per node. That buys the MWIS
+//! solvers' deletion cascades contiguous, prefetch-friendly neighbor scans
+//! — the dominant cost at conflict-graph scale — and, because each node's
+//! neighbor slice is sorted ascending, an `O(log d)` binary-search
+//! [`has_edge`](CsrGraph::has_edge).
+//!
+//! The layout is immutable by design: build it in one shot with
+//! [`GraphBuilder::finalize_csr`](crate::graph::GraphBuilder::finalize_csr)
+//! (the conflict-graph path) or snapshot an existing mutable graph with
+//! [`CsrGraph::from_graph`]. Anything that still needs `add_edge` after
+//! construction stays on [`Graph`](crate::graph::Graph), which remains the
+//! documented test oracle for this backend.
+
+use crate::graph::{Graph, GraphView, NodeId};
+
+/// An immutable node-weighted undirected graph in CSR layout.
+///
+/// Node `v`'s neighbors occupy
+/// `neighbors[offsets[v] .. offsets[v + 1]]`, sorted ascending and
+/// deduplicated. Weights are indexed by node id, exactly as in
+/// [`Graph`](crate::graph::Graph).
+///
+/// # Examples
+///
+/// ```
+/// use spindown_graph::graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::with_weights(vec![1.0, 2.0, 3.0]);
+/// b.add_edge(2, 0);
+/// b.add_edge(0, 1);
+/// let g = b.finalize_csr();
+/// assert_eq!(g.neighbors(0), &[1, 2], "adjacency is sorted");
+/// assert!(g.has_edge(0, 2));
+/// assert_eq!(g.degree(0), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CsrGraph {
+    weights: Vec<f64>,
+    /// `n + 1` running half-edge counts; node `v` owns
+    /// `neighbors[offsets[v] as usize .. offsets[v + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// Concatenated adjacency, sorted ascending within each node's slice.
+    neighbors: Vec<NodeId>,
+    edges: usize,
+}
+
+impl CsrGraph {
+    /// Builds the CSR layout from per-node adjacency lists that may still
+    /// contain duplicates (both endpoints hold the duplicate, so the
+    /// sort + dedup per slice keeps the adjacency symmetric).
+    pub(crate) fn from_lists(weights: Vec<f64>, mut adj: Vec<Vec<NodeId>>) -> CsrGraph {
+        let half_upper: usize = adj.iter().map(Vec::len).sum();
+        assert!(
+            half_upper <= u32::MAX as usize,
+            "CSR offsets are u32: {half_upper} half-edges exceed u32::MAX"
+        );
+        let mut offsets = Vec::with_capacity(weights.len() + 1);
+        let mut neighbors: Vec<NodeId> = Vec::with_capacity(half_upper);
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len() as u32);
+        }
+        let edges = neighbors.len() / 2;
+        CsrGraph {
+            weights,
+            offsets,
+            neighbors,
+            edges,
+        }
+    }
+
+    /// Snapshots a mutable [`Graph`] into the CSR layout (adjacency gets
+    /// sorted; the graph's lists are already deduplicated).
+    pub fn from_graph(g: &Graph) -> CsrGraph {
+        let n = g.len();
+        let half: usize = 2 * g.edge_count();
+        assert!(
+            half <= u32::MAX as usize,
+            "CSR offsets are u32: {half} half-edges exceed u32::MAX"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors: Vec<NodeId> = Vec::with_capacity(half);
+        offsets.push(0);
+        for v in 0..n {
+            let start = neighbors.len();
+            neighbors.extend_from_slice(g.neighbors(v as NodeId));
+            neighbors[start..].sort_unstable();
+            offsets.push(neighbors.len() as u32);
+        }
+        CsrGraph {
+            weights: g.weights().to_vec(),
+            offsets,
+            neighbors,
+            edges: g.edge_count(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Weight of node `v`.
+    pub fn weight(&self, v: NodeId) -> f64 {
+        self.weights[v as usize]
+    }
+
+    /// All node weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// `true` if the edge `{u, v}` exists — binary search in the smaller
+    /// endpoint's sorted slice, `O(log min-degree)`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Sum of all node weights.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Sum of weights over `nodes`.
+    pub fn set_weight_sum(&self, nodes: &[NodeId]) -> f64 {
+        nodes.iter().map(|&v| self.weight(v)).sum()
+    }
+
+    /// `true` if `nodes` is an independent set (pairwise non-adjacent,
+    /// no duplicates).
+    pub fn is_independent_set(&self, nodes: &[NodeId]) -> bool {
+        let mut mark = vec![false; self.len()];
+        for &v in nodes {
+            if (v as usize) >= self.len() || mark[v as usize] {
+                return false;
+            }
+            mark[v as usize] = true;
+        }
+        for &v in nodes {
+            if self.neighbors(v).iter().any(|&u| mark[u as usize]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl GraphView for CsrGraph {
+    fn len(&self) -> usize {
+        CsrGraph::len(self)
+    }
+
+    fn weight(&self, v: NodeId) -> f64 {
+        CsrGraph::weight(self, v)
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        CsrGraph::neighbors(self, v)
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        CsrGraph::degree(self, v)
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        CsrGraph::has_edge(self, u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn finalize_csr_sorts_and_dedups() {
+        let mut b = GraphBuilder::with_weights(vec![1.0, 2.0, 3.0, 4.0]);
+        b.add_edge(3, 0);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // duplicate, reversed
+        b.add_edge(2, 2); // self-loop: dropped at insert
+        b.add_edge(2, 0);
+        let g = b.finalize_csr();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.degree(0), 3);
+        assert!(g.has_edge(0, 3) && g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.weight(3), 4.0);
+        assert_eq!(g.total_weight(), 10.0);
+        assert_eq!(g.set_weight_sum(&[1, 3]), 6.0);
+    }
+
+    #[test]
+    fn from_graph_matches_source() {
+        let mut g = Graph::with_weights(vec![1.0, 2.0, 3.0]);
+        g.add_edge(2, 0);
+        g.add_edge(0, 1);
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.len(), g.len());
+        assert_eq!(c.edge_count(), g.edge_count());
+        assert_eq!(c.neighbors(0), &[1, 2], "snapshot sorts the adjacency");
+        for v in 0..3u32 {
+            assert_eq!(c.degree(v), g.degree(v));
+            assert_eq!(c.weight(v), g.weight(v));
+            for u in 0..3u32 {
+                assert_eq!(c.has_edge(u, v), g.has_edge(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let empty = GraphBuilder::new(0).finalize_csr();
+        assert!(empty.is_empty());
+        assert_eq!(empty.edge_count(), 0);
+        assert!(empty.is_independent_set(&[]));
+
+        let iso = GraphBuilder::new(3).finalize_csr();
+        assert_eq!(iso.len(), 3);
+        assert_eq!(iso.degree(1), 0);
+        assert!(iso.neighbors(1).is_empty());
+        assert!(iso.is_independent_set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn independent_set_checks() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.finalize_csr();
+        assert!(g.is_independent_set(&[0, 2]));
+        assert!(!g.is_independent_set(&[0, 1]));
+        assert!(!g.is_independent_set(&[0, 0]), "duplicates rejected");
+        assert!(!g.is_independent_set(&[9]), "out of range rejected");
+    }
+}

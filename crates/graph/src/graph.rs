@@ -7,6 +7,63 @@
 /// Node identifier (dense, `0..n`).
 pub type NodeId = u32;
 
+/// Read-only access shared by the two storage layouts — the mutable
+/// adjacency-list [`Graph`] and the frozen [`CsrGraph`](crate::csr::CsrGraph).
+///
+/// The MWIS solvers in [`crate::mwis`] are generic over this trait, so any
+/// backend that can enumerate neighbors and weights gets the full solver
+/// stack. Implementations must present each node's neighbors as a slice
+/// (duplicate-free, no self-loops); whether that slice is sorted is a
+/// backend property (CSR: always; `Graph`: only when
+/// [`Graph::adjacency_is_sorted`] holds), and `has_edge` is expected to
+/// exploit sortedness where available.
+pub trait GraphView {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// Weight of node `v`.
+    fn weight(&self, v: NodeId) -> f64;
+
+    /// Neighbors of `v` (duplicate-free, no self-loop).
+    fn neighbors(&self, v: NodeId) -> &[NodeId];
+
+    /// `true` if the edge `{u, v}` exists.
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool;
+
+    /// `true` if the graph has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Degree of `v`.
+    fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Sum of weights over `nodes`.
+    fn set_weight_sum(&self, nodes: &[NodeId]) -> f64 {
+        nodes.iter().map(|&v| self.weight(v)).sum()
+    }
+
+    /// `true` if `nodes` is an independent set (pairwise non-adjacent, no
+    /// duplicates).
+    fn is_independent_set(&self, nodes: &[NodeId]) -> bool {
+        let mut mark = vec![false; self.len()];
+        for &v in nodes {
+            if (v as usize) >= self.len() || mark[v as usize] {
+                return false;
+            }
+            mark[v as usize] = true;
+        }
+        for &v in nodes {
+            if self.neighbors(v).iter().any(|&u| mark[u as usize]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
 /// An undirected graph with `f64` node weights and deduplicated adjacency
 /// lists.
 ///
@@ -23,11 +80,21 @@ pub type NodeId = u32;
 /// assert!(g.has_edge(0, 1));
 /// assert!(!g.has_edge(0, 2));
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     weights: Vec<f64>,
     adj: Vec<Vec<NodeId>>,
     edges: usize,
+    /// `true` while every adjacency list is ascending — maintained across
+    /// [`add_edge`](Graph::add_edge) calls so [`has_edge`](Graph::has_edge)
+    /// can binary-search instead of scanning.
+    sorted: bool,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::new(0)
+    }
 }
 
 impl Graph {
@@ -37,6 +104,7 @@ impl Graph {
             weights: vec![1.0; n],
             adj: vec![Vec::new(); n],
             edges: 0,
+            sorted: true,
         }
     }
 
@@ -47,6 +115,7 @@ impl Graph {
             weights,
             adj: vec![Vec::new(); n],
             edges: 0,
+            sorted: true,
         }
     }
 
@@ -93,20 +162,57 @@ impl Graph {
         if u == v || self.has_edge(u, v) {
             return false;
         }
+        if self.sorted {
+            // Appending keeps a list ascending only when the new neighbor
+            // exceeds its current maximum; otherwise fall back to scans.
+            self.sorted = self.adj[u as usize].last().is_none_or(|&l| l < v)
+                && self.adj[v as usize].last().is_none_or(|&l| l < u);
+        }
         self.adj[u as usize].push(v);
         self.adj[v as usize].push(u);
         self.edges += 1;
         true
     }
 
-    /// `true` if the edge `{u, v}` exists.
+    /// `true` if the edge `{u, v}` exists: `O(log min-degree)` binary
+    /// search while the adjacency is sorted (see
+    /// [`adjacency_is_sorted`](Graph::adjacency_is_sorted)), otherwise a
+    /// linear scan of the shorter endpoint's list.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         let (a, b) = if self.adj[u as usize].len() <= self.adj[v as usize].len() {
             (u, v)
         } else {
             (v, u)
         };
-        self.adj[a as usize].contains(&b)
+        let list = &self.adj[a as usize];
+        if self.sorted {
+            list.binary_search(&b).is_ok()
+        } else {
+            list.contains(&b)
+        }
+    }
+
+    /// `true` while every adjacency list is ascending. Holds for empty
+    /// graphs and is preserved by [`add_edge`](Graph::add_edge) as long as
+    /// each insertion appends past the list maximum (e.g. edges arriving
+    /// in lexicographic order); one out-of-order insertion downgrades
+    /// [`has_edge`](Graph::has_edge) to linear scans until
+    /// [`sort_adjacency`](Graph::sort_adjacency) restores the invariant.
+    pub fn adjacency_is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// Sorts every adjacency list ascending, re-enabling binary-search
+    /// [`has_edge`](Graph::has_edge). `O(E log d̄)`; a no-op when the
+    /// lists are already sorted.
+    pub fn sort_adjacency(&mut self) {
+        if self.sorted {
+            return;
+        }
+        for list in &mut self.adj {
+            list.sort_unstable();
+        }
+        self.sorted = true;
     }
 
     /// Weight of node `v`.
@@ -293,6 +399,7 @@ impl GraphBuilder {
         let mut adj = self.adj;
         let mut stamp: Vec<u32> = vec![u32::MAX; n];
         let mut half_edges = 0usize;
+        let mut sorted = true;
         for (u, list) in adj.iter_mut().enumerate() {
             list.retain(|&v| {
                 if stamp[v as usize] == u as u32 {
@@ -303,11 +410,13 @@ impl GraphBuilder {
                 }
             });
             half_edges += list.len();
+            sorted &= list.windows(2).all(|w| w[0] < w[1]);
         }
         Graph {
             weights: self.weights,
             adj,
             edges: half_edges / 2,
+            sorted,
         }
     }
 
@@ -336,11 +445,52 @@ impl GraphBuilder {
             }
         }
         let half_edges: usize = self.adj.iter().map(Vec::len).sum();
+        // Insertion order is preserved verbatim, so sortedness is unknown
+        // without an extra sweep — stay conservative and keep the claimed
+        // O(n) finalization; callers wanting binary-search `has_edge` run
+        // `sort_adjacency` or build a CSR graph instead.
         Graph {
             weights: self.weights,
             adj: self.adj,
             edges: half_edges / 2,
+            sorted: false,
         }
+    }
+
+    /// Finalizes straight into the immutable CSR layout
+    /// ([`CsrGraph`](crate::csr::CsrGraph)): each accumulated bucket list
+    /// is sorted and deduplicated in place and appended to the flat
+    /// offset/neighbor arrays — no intermediate [`Graph`] and no second
+    /// copy of the adjacency. `O(E log d̄)` for the per-node sorts.
+    ///
+    /// This is the intended endpoint for build-once-solve-many graphs
+    /// like the §3.1.2 conflict graph; use
+    /// [`finalize`](GraphBuilder::finalize) when the result must stay
+    /// mutable or must preserve first-occurrence neighbor order.
+    pub fn finalize_csr(self) -> crate::csr::CsrGraph {
+        crate::csr::CsrGraph::from_lists(self.weights, self.adj)
+    }
+}
+
+impl GraphView for Graph {
+    fn len(&self) -> usize {
+        Graph::len(self)
+    }
+
+    fn weight(&self, v: NodeId) -> f64 {
+        Graph::weight(self, v)
+    }
+
+    fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        Graph::neighbors(self, v)
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        Graph::has_edge(self, u, v)
     }
 }
 
@@ -477,5 +627,60 @@ mod tests {
     fn builder_bounds_checked() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn sorted_flag_tracks_insertion_order() {
+        let mut g = Graph::new(4);
+        assert!(g.adjacency_is_sorted(), "empty lists are sorted");
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert!(g.adjacency_is_sorted(), "ascending appends keep the flag");
+        assert!(g.has_edge(1, 2) && !g.has_edge(0, 3));
+        // Out-of-order append: adj[2] becomes [1, 3, 0].
+        g.add_edge(2, 0);
+        assert!(!g.adjacency_is_sorted());
+        assert!(g.has_edge(2, 0), "linear fallback still answers correctly");
+        assert!(!g.has_edge(1, 3));
+        g.sort_adjacency();
+        assert!(g.adjacency_is_sorted());
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert!(g.has_edge(2, 0) && g.has_edge(0, 2) && !g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn finalize_detects_sortedness() {
+        let mut ordered = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (2, 3)] {
+            ordered.add_edge(u, v);
+        }
+        let g = ordered.finalize();
+        assert!(g.adjacency_is_sorted(), "lexicographic emission sorts every list");
+        assert!(g.has_edge(1, 2) && !g.has_edge(0, 3));
+
+        let mut unordered = GraphBuilder::new(3);
+        unordered.add_edge(1, 2);
+        unordered.add_edge(0, 2); // adj[2] = [1, 0]
+        let g = unordered.finalize();
+        assert!(!g.adjacency_is_sorted());
+        assert!(g.has_edge(0, 2) && !g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn graph_view_defaults_agree_with_inherent_methods() {
+        fn probe<G: GraphView>(g: &G) -> (usize, usize, f64, bool) {
+            (
+                g.len(),
+                g.degree(1),
+                g.set_weight_sum(&[0, 2]),
+                g.is_independent_set(&[0, 2]),
+            )
+        }
+        let mut g = Graph::with_weights(vec![1.0, 2.0, 4.0]);
+        g.add_edge(0, 1);
+        assert_eq!(probe(&g), (3, 1, 5.0, true));
+        assert!(!GraphView::is_independent_set(&g, &[0, 1]));
+        assert!(!GraphView::is_empty(&g));
     }
 }

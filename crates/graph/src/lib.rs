@@ -4,20 +4,28 @@
 //! NP-complete problems the paper reduces energy-aware scheduling to.
 //!
 //! * [`graph`] — node-weighted undirected [`graph::Graph`] (the `X(i,j,k)`
-//!   conflict graph of paper §3.1).
+//!   conflict graph of paper §3.1), its bulk [`graph::GraphBuilder`], and
+//!   the [`graph::GraphView`] read trait the solvers are generic over.
+//! * [`csr`] — the frozen [`csr::CsrGraph`] compressed-sparse-row layout:
+//!   flat offset/neighbor arrays with sorted adjacency, the fast backend
+//!   for build-once-solve-many graphs.
 //! * [`mwis`] — maximum-weight-independent-set solvers: the paper's GMIN
 //!   greedy ([`mwis::gwmin`], Sakai et al. \[22\]), the stronger
 //!   [`mwis::gwmin2`], a [`mwis::local_search`] improver, and an
-//!   [`mwis::exact`] branch-and-bound oracle.
+//!   [`mwis::exact`] branch-and-bound oracle. All generic over
+//!   [`graph::GraphView`]; [`mwis::baseline`] keeps the eager-heap
+//!   reference cascade as oracle and benchmark baseline.
 //! * [`setcover`] — weighted set cover for the batch scheduler (§3.2):
 //!   greedy `H_n`-approximation and an exact oracle.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod graph;
 pub mod mwis;
 pub mod setcover;
 
-pub use graph::{Graph, GraphBuilder, NodeId};
+pub use csr::CsrGraph;
+pub use graph::{Graph, GraphBuilder, GraphView, NodeId};
 pub use setcover::{Cover, SetCoverInstance, WeightedSet};

@@ -15,10 +15,28 @@
 //! * [`exact`] — branch-and-bound, the optimality oracle for tests and for
 //!   the paper's toy instances (Fig. 4).
 //!
+//! Every solver is generic over [`GraphView`], so it runs unchanged on the
+//! mutable adjacency-list [`Graph`](crate::graph::Graph) and on the frozen
+//! [`CsrGraph`](crate::csr::CsrGraph); the CSR layout is the fast path for
+//! build-once-solve-many conflict graphs (contiguous neighbor scans).
+//!
+//! The greedies use a **version-counter lazy heap**: each node carries an
+//! epoch that is bumped whenever its remaining-graph degree or neighbor
+//! weight changes, and a popped heap entry is acted on only if its recorded
+//! epoch still matches. A deletion cascade coalesces its updates — it marks
+//! every touched survivor dirty while applying the degree/weight decrements
+//! and pushes **one** refreshed entry per survivor at the end — instead of
+//! pushing per neighbor-of-neighbor decrement as the eager reference engine
+//! does. [`baseline`] keeps that eager engine as the differential oracle
+//! and benchmark baseline; both engines select the exact same sets.
+//!
 //! All solvers return node lists sorted ascending, so results are
 //! deterministic and directly comparable.
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{GraphView, NodeId};
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// GWMIN greedy of Sakai et al.: repeatedly select the alive vertex
 /// maximizing `w(v) / (deg(v)+1)` (degree in the *remaining* graph), add it
@@ -39,116 +57,244 @@ use crate::graph::{Graph, NodeId};
 /// g.add_edge(1, 2);
 /// assert_eq!(gwmin(&g), vec![1]);
 /// ```
-pub fn gwmin(g: &Graph) -> Vec<NodeId> {
+pub fn gwmin<G: GraphView + ?Sized>(g: &G) -> Vec<NodeId> {
     greedy_by(g, |w, deg, _nbr_w| w / (deg as f64 + 1.0))
 }
 
 /// GWMIN2 greedy of Sakai et al.: select the alive vertex maximizing
 /// `w(v) / Σ_{u ∈ N(v) ∪ {v}} w(u)`. Carries the guarantee
 /// `Σ w(IS) ≥ Σ_v w(v)² / w(N(v) ∪ {v})`.
-pub fn gwmin2(g: &Graph) -> Vec<NodeId> {
-    greedy_by(g, |w, _deg, nbr_w| {
-        let denom = w + nbr_w;
-        if denom <= 0.0 {
-            f64::INFINITY
-        } else {
-            w / denom
+pub fn gwmin2<G: GraphView + ?Sized>(g: &G) -> Vec<NodeId> {
+    greedy_by(g, gwmin2_score)
+}
+
+fn gwmin2_score(w: f64, _deg: usize, nbr_w: f64) -> f64 {
+    let denom = w + nbr_w;
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        w / denom
+    }
+}
+
+/// Max-heap entry: a node's score at the epoch it was (re)computed. An
+/// entry is valid only while `epoch` matches the node's current epoch —
+/// any cascade that touches the node bumps the epoch, so staleness is an
+/// integer comparison, immune to `f64` drift (and to `NaN` weights, which
+/// made the old `nbr_w` equality test reject *every* entry).
+#[derive(PartialEq)]
+struct Entry {
+    score: f64,
+    node: NodeId,
+    epoch: u32,
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on score; tie-break toward smaller node id.
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Shared state of both greedy engines: the remaining-graph degree and
+/// neighbor-weight per node, plus the epoch counters backing staleness.
+struct GreedyState {
+    alive: Vec<bool>,
+    deg: Vec<u32>,
+    nbr_w: Vec<f64>,
+    epoch: Vec<u32>,
+}
+
+impl GreedyState {
+    fn init<G: GraphView + ?Sized>(g: &G) -> GreedyState {
+        let n = g.len();
+        GreedyState {
+            alive: vec![true; n],
+            deg: (0..n).map(|v| g.degree(v as NodeId) as u32).collect(),
+            nbr_w: (0..n)
+                .map(|v| {
+                    g.neighbors(v as NodeId)
+                        .iter()
+                        .map(|&u| g.weight(u))
+                        .sum::<f64>()
+                })
+                .collect(),
+            epoch: vec![0u32; n],
         }
-    })
+    }
+
+    fn initial_heap(
+        &self,
+        g: &(impl GraphView + ?Sized),
+        score: &impl Fn(f64, usize, f64) -> f64,
+    ) -> BinaryHeap<Entry> {
+        let mut heap = BinaryHeap::with_capacity(self.alive.len());
+        for v in 0..self.alive.len() {
+            heap.push(Entry {
+                score: score(g.weight(v as NodeId), self.deg[v] as usize, self.nbr_w[v]),
+                node: v as NodeId,
+                epoch: 0,
+            });
+        }
+        heap
+    }
 }
 
 /// Shared engine for the two greedies. `score(weight, alive_degree,
 /// alive_neighbor_weight)` must be non-decreasing as neighbors die, which
 /// both ratios satisfy — that monotonicity is what makes the lazy heap
-/// correct (a stale entry never over-states a node's current score).
-fn greedy_by(g: &Graph, score: impl Fn(f64, usize, f64) -> f64) -> Vec<NodeId> {
-    use std::cmp::Ordering;
-    use std::collections::BinaryHeap;
-
-    #[derive(PartialEq)]
-    struct Entry {
-        score: f64,
-        node: NodeId,
-        deg: u32,
-        nbr_w: f64,
-    }
-    impl Eq for Entry {}
-    impl PartialOrd for Entry {
-        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-    impl Ord for Entry {
-        fn cmp(&self, other: &Self) -> Ordering {
-            // Max-heap on score; tie-break toward smaller node id.
-            self.score
-                .partial_cmp(&other.score)
-                .unwrap_or(Ordering::Equal)
-                .then_with(|| other.node.cmp(&self.node))
-        }
-    }
-
+/// correct (a stale entry never over-states a node's current score, so the
+/// refreshed entry pushed at the cascade that invalidated it is the one
+/// that competes at the node's true score).
+///
+/// Deletion cascade: killing the selected node's neighbors decrements the
+/// degree/neighbor-weight of each *survivor* exactly once per dead
+/// neighbor, but the heap hears about a survivor only **once per cascade**
+/// — the survivor is stamped on first touch, its epoch bumped, and a
+/// single refreshed entry pushed after all decrements have landed. The
+/// eager reference engine ([`baseline`]) instead pushes on every
+/// decrement; on a graph of mean degree `d̄` that is ~`d̄` times the heap
+/// traffic for identical results.
+fn greedy_by<G: GraphView + ?Sized>(
+    g: &G,
+    score: impl Fn(f64, usize, f64) -> f64,
+) -> Vec<NodeId> {
     let n = g.len();
-    let mut alive = vec![true; n];
-    let mut deg: Vec<u32> = (0..n).map(|v| g.degree(v as NodeId) as u32).collect();
-    let mut nbr_w: Vec<f64> = (0..n)
-        .map(|v| {
-            g.neighbors(v as NodeId)
-                .iter()
-                .map(|&u| g.weight(u))
-                .sum::<f64>()
-        })
-        .collect();
+    let mut st = GreedyState::init(g);
+    let mut heap = st.initial_heap(g, &score);
 
-    let mut heap = BinaryHeap::with_capacity(n);
-    for v in 0..n {
-        heap.push(Entry {
-            score: score(g.weight(v as NodeId), deg[v] as usize, nbr_w[v]),
-            node: v as NodeId,
-            deg: deg[v],
-            nbr_w: nbr_w[v],
-        });
-    }
+    // Cascade-local scratch: which survivors were already recorded this
+    // cascade (stamp = cascade id; 0 = never, cascades count from 1).
+    let mut touch_stamp = vec![0u32; n];
+    let mut touched: Vec<NodeId> = Vec::new();
+    let mut cascade: u32 = 0;
 
     let mut result = Vec::new();
     while let Some(e) = heap.pop() {
         let v = e.node as usize;
-        if !alive[v] {
-            continue;
-        }
-        // Stale entry: the node's degree/neighbor-weight changed since this
-        // entry was pushed. A fresh entry was pushed at that change, so
-        // drop this one.
-        if e.deg != deg[v] || e.nbr_w != nbr_w[v] {
+        if !st.alive[v] || e.epoch != st.epoch[v] {
+            // Stale: the node died, or a cascade bumped its epoch and
+            // already pushed the refreshed entry that supersedes this one.
             continue;
         }
         result.push(e.node);
-        alive[v] = false;
-        // Kill neighbors; decrement degrees of *their* neighbors.
+        st.alive[v] = false;
+        cascade += 1;
+        touched.clear();
+        // Kill neighbors; decrement degrees/weights of *their* neighbors.
         for &u in g.neighbors(e.node) {
-            let u = u as usize;
-            if !alive[u] {
+            let ui = u as usize;
+            if !st.alive[ui] {
                 continue;
             }
-            alive[u] = false;
-            for &w2 in g.neighbors(u as NodeId) {
-                let w2 = w2 as usize;
-                if !alive[w2] {
+            st.alive[ui] = false;
+            let uw = g.weight(u);
+            for &w2 in g.neighbors(u) {
+                let wi = w2 as usize;
+                if !st.alive[wi] {
                     continue;
                 }
-                deg[w2] -= 1;
-                nbr_w[w2] -= g.weight(u as NodeId);
-                heap.push(Entry {
-                    score: score(g.weight(w2 as NodeId), deg[w2] as usize, nbr_w[w2]),
-                    node: w2 as NodeId,
-                    deg: deg[w2],
-                    nbr_w: nbr_w[w2],
-                });
+                st.deg[wi] -= 1;
+                st.nbr_w[wi] -= uw;
+                if touch_stamp[wi] != cascade {
+                    touch_stamp[wi] = cascade;
+                    touched.push(w2);
+                }
             }
+        }
+        // One refreshed entry per surviving touched node, now that every
+        // decrement of this cascade has been applied. Nodes touched first
+        // and killed later in the same cascade are skipped here.
+        for &t in &touched {
+            let ti = t as usize;
+            if !st.alive[ti] {
+                continue;
+            }
+            st.epoch[ti] += 1;
+            heap.push(Entry {
+                score: score(g.weight(t), st.deg[ti] as usize, st.nbr_w[ti]),
+                node: t,
+                epoch: st.epoch[ti],
+            });
         }
     }
     result.sort_unstable();
     result
+}
+
+/// The eager reference engine: identical selection to the production
+/// greedies, kept as differential oracle and benchmark baseline.
+pub mod baseline {
+    use super::*;
+
+    /// [`gwmin`](super::gwmin) driven by the eager cascade — one heap push
+    /// per neighbor-of-neighbor decrement, the pre-CSR implementation.
+    pub fn gwmin<G: GraphView + ?Sized>(g: &G) -> Vec<NodeId> {
+        greedy_by_eager(g, |w, deg, _nbr_w| w / (deg as f64 + 1.0))
+    }
+
+    /// [`gwmin2`](super::gwmin2) driven by the eager cascade.
+    pub fn gwmin2<G: GraphView + ?Sized>(g: &G) -> Vec<NodeId> {
+        greedy_by_eager(g, gwmin2_score)
+    }
+
+    /// The original cascade: every degree decrement immediately pushes a
+    /// refreshed entry. Each intermediate push is invalidated by the next
+    /// decrement's epoch bump, so per alive node only the latest entry is
+    /// ever acted on — exactly the valid-entry multiset of the coalesced
+    /// engine in [`super::greedy_by`], hence bit-identical outputs, at
+    /// `O(d̄)`-fold the heap traffic. (Staleness here also uses the epoch
+    /// counter: the historical `f64` equality test on the accumulated
+    /// neighbor weight was exact-by-accident and fell apart on `NaN`.)
+    fn greedy_by_eager<G: GraphView + ?Sized>(
+        g: &G,
+        score: impl Fn(f64, usize, f64) -> f64,
+    ) -> Vec<NodeId> {
+        let mut st = GreedyState::init(g);
+        let mut heap = st.initial_heap(g, &score);
+
+        let mut result = Vec::new();
+        while let Some(e) = heap.pop() {
+            let v = e.node as usize;
+            if !st.alive[v] || e.epoch != st.epoch[v] {
+                continue;
+            }
+            result.push(e.node);
+            st.alive[v] = false;
+            for &u in g.neighbors(e.node) {
+                let ui = u as usize;
+                if !st.alive[ui] {
+                    continue;
+                }
+                st.alive[ui] = false;
+                let uw = g.weight(u);
+                for &w2 in g.neighbors(u) {
+                    let wi = w2 as usize;
+                    if !st.alive[wi] {
+                        continue;
+                    }
+                    st.deg[wi] -= 1;
+                    st.nbr_w[wi] -= uw;
+                    st.epoch[wi] += 1;
+                    heap.push(Entry {
+                        score: score(g.weight(w2), st.deg[wi] as usize, st.nbr_w[wi]),
+                        node: w2,
+                        epoch: st.epoch[wi],
+                    });
+                }
+            }
+        }
+        result.sort_unstable();
+        result
+    }
 }
 
 /// Improves `initial` with two move types until a local optimum:
@@ -159,10 +305,15 @@ fn greedy_by(g: &Graph, score: impl Fn(f64, usize, f64) -> f64) -> Vec<NodeId> {
 ///
 /// Returns a set at least as heavy as `initial`.
 ///
+/// Swap candidates are scanned in ascending node order (not adjacency
+/// order), so the result is identical across graph backends regardless of
+/// how their neighbor lists are ordered; the pairwise non-adjacency test
+/// rides each backend's `has_edge` (binary search on sorted adjacency).
+///
 /// # Panics
 ///
 /// Panics if `initial` is not an independent set of `g`.
-pub fn local_search(g: &Graph, initial: &[NodeId]) -> Vec<NodeId> {
+pub fn local_search<G: GraphView + ?Sized>(g: &G, initial: &[NodeId]) -> Vec<NodeId> {
     assert!(
         g.is_independent_set(initial),
         "local_search requires an independent starting set"
@@ -209,12 +360,13 @@ pub fn local_search(g: &Graph, initial: &[NodeId]) -> Vec<NodeId> {
                 continue;
             }
             // Candidates: non-members whose only set-conflict is v.
-            let cands: Vec<NodeId> = g
+            let mut cands: Vec<NodeId> = g
                 .neighbors(v as NodeId)
                 .iter()
                 .copied()
                 .filter(|&u| !in_set[u as usize] && conflicts[u as usize] == 1)
                 .collect();
+            cands.sort_unstable();
             let mut done = false;
             for (i, &a) in cands.iter().enumerate() {
                 for &b in &cands[i + 1..] {
@@ -245,7 +397,7 @@ pub fn local_search(g: &Graph, initial: &[NodeId]) -> Vec<NodeId> {
 /// Branching: pick the remaining vertex of maximum degree; either exclude
 /// it or include it (removing its closed neighborhood). Bound: current
 /// weight + total remaining weight must beat the incumbent.
-pub fn exact(g: &Graph, node_limit: usize) -> Option<Vec<NodeId>> {
+pub fn exact<G: GraphView + ?Sized>(g: &G, node_limit: usize) -> Option<Vec<NodeId>> {
     if g.len() > node_limit {
         return None;
     }
@@ -255,8 +407,8 @@ pub fn exact(g: &Graph, node_limit: usize) -> Option<Vec<NodeId>> {
     let mut current: Vec<NodeId> = Vec::new();
     let alive: Vec<bool> = vec![true; n];
 
-    fn recurse(
-        g: &Graph,
+    fn recurse<G: GraphView + ?Sized>(
+        g: &G,
         alive: Vec<bool>,
         current: &mut Vec<NodeId>,
         cur_w: f64,
@@ -342,6 +494,7 @@ pub fn exact(g: &Graph, node_limit: usize) -> Option<Vec<NodeId>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{Graph, GraphBuilder};
 
     fn path(weights: &[f64]) -> Graph {
         let mut g = Graph::with_weights(weights.to_vec());
@@ -463,6 +616,47 @@ mod tests {
         let is = gwmin2(&g);
         assert!(g.is_independent_set(&is));
         assert!(g.set_weight_sum(&is) >= 1.0);
+    }
+
+    #[test]
+    fn solvers_run_identically_on_csr() {
+        // Same instance through both backends and both greedy engines.
+        let weights = vec![4.0, 1.0, 3.0, 2.0, 5.0, 1.0];
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)];
+        let mut g = Graph::with_weights(weights.clone());
+        let mut b = GraphBuilder::with_weights(weights);
+        for &(u, v) in &edges {
+            g.add_edge(u, v);
+            b.add_edge(u, v);
+        }
+        let c = b.finalize_csr();
+        assert_eq!(gwmin(&g), gwmin(&c));
+        assert_eq!(gwmin2(&g), gwmin2(&c));
+        assert_eq!(gwmin(&g), baseline::gwmin(&g));
+        assert_eq!(gwmin2(&c), baseline::gwmin2(&c));
+        assert_eq!(exact(&g, 64), exact(&c, 64));
+        let start = gwmin(&g);
+        assert_eq!(local_search(&g, &start), local_search(&c, &start));
+    }
+
+    #[test]
+    fn nan_weight_no_longer_wedges_staleness() {
+        // With the old `f64`-equality staleness test, a NaN neighbor
+        // weight marked every entry of its neighbors stale forever and
+        // the greedy silently dropped them. Epochs are NaN-proof: the
+        // result must still be a maximal independent set.
+        let mut g = Graph::with_weights(vec![1.0, f64::NAN, 1.0, 1.0]);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let is = gwmin(&g);
+        assert!(g.is_independent_set(&is));
+        for v in 0..g.len() as NodeId {
+            assert!(
+                is.contains(&v) || g.neighbors(v).iter().any(|u| is.contains(u)),
+                "node {v} neither selected nor dominated"
+            );
+        }
     }
 
     #[test]

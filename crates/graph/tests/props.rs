@@ -3,6 +3,7 @@
 //! run exercises the identical cases), every solver's output must be
 //! feasible, and the exact solvers must dominate the heuristics.
 
+use spindown_graph::csr::CsrGraph;
 use spindown_graph::graph::{Graph, NodeId};
 use spindown_graph::mwis;
 use spindown_graph::setcover::{harmonic, SetCoverInstance};
@@ -10,10 +11,17 @@ use spindown_sim::rng::SimRng;
 
 /// A random graph: `2..=max_n` nodes, weights in (0, 10], random edges.
 fn random_graph(rng: &mut SimRng, max_n: usize) -> Graph {
+    random_graph_with_density(rng, max_n, 2)
+}
+
+/// A random graph with tunable density: up to `n * edge_factor` edge
+/// draws, so `edge_factor` sweeps sparse (1) to near-complete (12 at
+/// `max_n` ≈ 40).
+fn random_graph_with_density(rng: &mut SimRng, max_n: usize, edge_factor: usize) -> Graph {
     let n = 2 + rng.index(max_n - 1);
     let weights: Vec<f64> = (0..n).map(|_| 0.01 + rng.next_f64() * 9.99).collect();
     let mut g = Graph::with_weights(weights);
-    for _ in 0..rng.index(n * 2) {
+    for _ in 0..rng.index(n * edge_factor) {
         let u = rng.index(n) as NodeId;
         let v = rng.index(n) as NodeId;
         if u != v {
@@ -211,5 +219,95 @@ fn builder_equivalent_to_incremental_on_random_sequences() {
             );
             assert_eq!(bulk.weight(v), incremental.weight(v));
         }
+    }
+}
+
+/// The CSR backend must be structurally indistinguishable from the
+/// adjacency-list graph it was built from — same node count, edge count,
+/// degrees, (sorted) neighbor sets, weights, and `has_edge` answers —
+/// across sparse, moderate, and dense instances, and regardless of
+/// whether the CSR came from a snapshot or from the builder.
+#[test]
+fn csr_structure_matches_adjacency_list() {
+    use spindown_graph::graph::GraphBuilder;
+
+    let mut rng = SimRng::seed_from_u64(0x6717a9);
+    for case in 0..60 {
+        let g = random_graph_with_density(&mut rng, 40, [1, 4, 12][case % 3]);
+        let n = g.len();
+        // Snapshot path and builder path must agree with each other too.
+        let snap = CsrGraph::from_graph(&g);
+        let mut b = GraphBuilder::with_weights(g.weights().to_vec());
+        for v in 0..n as NodeId {
+            for &u in g.neighbors(v) {
+                if v < u {
+                    b.add_edge(v, u);
+                }
+            }
+        }
+        let built = b.finalize_csr();
+        assert_eq!(snap, built, "case {case}: snapshot vs builder CSR");
+
+        assert_eq!(snap.len(), g.len(), "case {case}: node count");
+        assert_eq!(snap.edge_count(), g.edge_count(), "case {case}: edges");
+        for v in 0..n as NodeId {
+            assert_eq!(snap.weight(v), g.weight(v));
+            assert_eq!(snap.degree(v), g.degree(v), "case {case}: degree {v}");
+            let mut adj = g.neighbors(v).to_vec();
+            adj.sort_unstable();
+            assert_eq!(snap.neighbors(v), &adj[..], "case {case}: adjacency {v}");
+            for u in 0..n as NodeId {
+                assert_eq!(
+                    snap.has_edge(v, u),
+                    g.has_edge(v, u),
+                    "case {case}: has_edge({v}, {u})"
+                );
+            }
+        }
+    }
+}
+
+/// Every MWIS solver must return the *identical* node set on both
+/// storage backends, and the coalesced production cascade must be
+/// bit-identical to the eager reference engine on each backend — across
+/// sparse-to-dense seeded instances.
+#[test]
+fn solvers_identical_across_backends_and_engines() {
+    let mut rng = SimRng::seed_from_u64(0x6717aa);
+    for case in 0..60 {
+        let g = random_graph_with_density(&mut rng, 40, [1, 4, 12][case % 3]);
+        let c = CsrGraph::from_graph(&g);
+
+        let gw = mwis::gwmin(&g);
+        assert_eq!(gw, mwis::gwmin(&c), "case {case}: gwmin backends");
+        assert_eq!(gw, mwis::baseline::gwmin(&g), "case {case}: gwmin engines");
+        assert_eq!(gw, mwis::baseline::gwmin(&c), "case {case}: gwmin cross");
+
+        let gw2 = mwis::gwmin2(&g);
+        assert_eq!(gw2, mwis::gwmin2(&c), "case {case}: gwmin2 backends");
+        assert_eq!(gw2, mwis::baseline::gwmin2(&g), "case {case}: gwmin2 engines");
+        assert_eq!(gw2, mwis::baseline::gwmin2(&c), "case {case}: gwmin2 cross");
+
+        assert_eq!(
+            mwis::local_search(&g, &gw),
+            mwis::local_search(&c, &gw),
+            "case {case}: local_search backends"
+        );
+    }
+}
+
+/// Exact branch-and-bound is backend-independent as well (kept to small
+/// instances; the solver is exponential).
+#[test]
+fn exact_identical_across_backends() {
+    let mut rng = SimRng::seed_from_u64(0x6717ab);
+    for case in 0..50 {
+        let g = random_graph_with_density(&mut rng, 14, [1, 4, 12][case % 3]);
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(
+            mwis::exact(&g, 16),
+            mwis::exact(&c, 16),
+            "case {case}: exact backends"
+        );
     }
 }
