@@ -18,12 +18,18 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use spindown_core::experiment::data_space;
+use spindown_core::cost::CostFunction;
+use spindown_core::experiment::{build_scheduler, data_space, scan_stream, SchedulerKind};
 use spindown_core::model::Request;
 use spindown_core::placement::{PlacementConfig, PlacementMap};
 use spindown_core::sched::{MwisPlanner, MwisSolver};
+use spindown_core::system::{run_system_streamed, SystemConfig};
 use spindown_disk::power::PowerParams;
 use spindown_graph::mwis as solvers;
+use spindown_sim::time::SimTime;
+use spindown_trace::spc::{self, SpcStream};
+use spindown_trace::synth::TraceGenerator;
+use spindown_trace::{ParsePolicy, StreamError};
 
 use crate::grids::EvalGrid;
 use crate::workload::{self, Scale};
@@ -551,6 +557,98 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
                     config.jobs,
                 ));
             }),
+        });
+    }
+
+    // Streaming trace pipeline. Two benches gate the two halves of the
+    // constant-memory path: the incremental SPC parser on its own, and
+    // the full two-pass streamed replay (scan -> placement -> lazy
+    // request source -> pull-based event loop).
+    if want("stream_parse_spc_medium") {
+        let scale = Scale {
+            requests: 100_000,
+            data_items: 20_000,
+            disks: 24,
+            rate: 40.0,
+        };
+        // Render the fixture once; the bench times parsing only. Like
+        // the graph-build benches, iterations are cheap (~10 ms) and the
+        // median feeds the CI regression gate, so take extra samples
+        // after extra warmup to ride out frequency-scaling transients.
+        let text = spc::to_string(&workload::cello_like(scale).generate(config.seed));
+        let stats = time_ns(warmup + 4, gb_iters, || {
+            let mut n = 0usize;
+            for rec in SpcStream::new(text.as_bytes(), ParsePolicy::Strict) {
+                black_box(rec.expect("rendered fixture parses clean"));
+                n += 1;
+            }
+            assert_eq!(n, scale.requests);
+        });
+        entries.push(BenchEntry {
+            name: "stream_parse_spc_medium",
+            stats,
+        });
+        derived.push(DerivedEntry {
+            name: "stream_parse_records_per_sec",
+            value: scale.requests as f64 / (stats.median_ns as f64 / 1e9),
+        });
+    }
+    if want("stream_run_medium") {
+        let scale = Scale {
+            requests: 20_000,
+            data_items: 5_000,
+            disks: 24,
+            rate: 20.0,
+        };
+        let gen = workload::cello_like(scale);
+        let pcfg = PlacementConfig {
+            disks: scale.disks,
+            replication: 3,
+            zipf_z: 1.0,
+        };
+        let sys = SystemConfig {
+            disks: scale.disks,
+            seed: config.seed,
+            ..SystemConfig::default()
+        };
+        let mut peaks = (0usize, 0usize);
+        // Extra warmup + samples for the same reason as the parse bench.
+        let stats = time_ns(warmup + 4, gb_iters, || {
+            let scan = scan_stream(gen.stream(config.seed).map(Ok::<_, StreamError>))
+                .expect("synthetic streams are infallible");
+            let placement = PlacementMap::build(scan.data_space(), &pcfg, config.seed);
+            let mut sched = build_scheduler(
+                &SchedulerKind::Heuristic(CostFunction::energy_only()),
+                config.seed,
+            )
+            .expect("event-loop scheduler");
+            let mut source = scan.requests(gen.stream(config.seed).map(Ok::<_, StreamError>));
+            let m = run_system_streamed(&mut source, &placement, sched.as_mut(), &sys)
+                .expect("streamed replay of a synthetic trace");
+            peaks = (m.peak_events, m.peak_in_flight);
+            black_box(m);
+        });
+        entries.push(BenchEntry {
+            name: "stream_run_medium",
+            stats,
+        });
+        derived.push(DerivedEntry {
+            name: "stream_run_records_per_sec",
+            value: scale.requests as f64 / (stats.median_ns as f64 / 1e9),
+        });
+        // Estimated peak resident bytes of the pipeline's only
+        // trace-proportional buffers: queued events (time + two ids) plus
+        // in-flight bookkeeping (id + arrival time + the request batch
+        // slot). An estimate from struct sizes, not an allocator
+        // measurement — its job is to prove the replay buffers stay
+        // O(in-flight work), far below the materialized trace.
+        let event_bytes = std::mem::size_of::<SimTime>() + 2 * std::mem::size_of::<u64>();
+        let in_flight_bytes = std::mem::size_of::<u64>()
+            + std::mem::size_of::<SimTime>()
+            + std::mem::size_of::<Request>();
+        derived.push(DerivedEntry {
+            name: "stream_run_peak_buffer_bytes",
+            value: (peaks.0 * event_bytes + peaks.1 * in_flight_bytes) as f64,
         });
     }
 

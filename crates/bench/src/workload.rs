@@ -54,12 +54,12 @@ impl Scale {
     }
 }
 
-/// The Cello-like workload at a given scale: bursty multi-source
-/// Pareto-ON/OFF arrivals, Zipf block popularity.
-pub fn cello(scale: Scale, seed: u64) -> Vec<Request> {
+/// The Cello-like generator at a given scale — exposed so streaming
+/// benches can replay it lazily via [`CelloLike::stream`].
+pub fn cello_like(scale: Scale) -> CelloLike {
     let sources = 24;
     let frac = on_fraction();
-    let trace = CelloLike {
+    CelloLike {
         requests: scale.requests,
         data_items: scale.data_items,
         arrivals: OnOffProcess {
@@ -73,7 +73,12 @@ pub fn cello(scale: Scale, seed: u64) -> Vec<Request> {
         },
         ..CelloLike::default()
     }
-    .generate(seed);
+}
+
+/// The Cello-like workload at a given scale: bursty multi-source
+/// Pareto-ON/OFF arrivals, Zipf block popularity.
+pub fn cello(scale: Scale, seed: u64) -> Vec<Request> {
+    let trace = cello_like(scale).generate(seed);
     requests_from_trace(&trace)
 }
 

@@ -15,7 +15,10 @@ USAGE:
     spindown-cli <simulate|compare|stats|bench> [options]
 
 SOURCE (choose one):
-    --trace <path>           SPC (.spc/.csv) or SRT (.srt/.txt) trace file
+    --trace <path>           SPC (.spc/.csv) or SRT (.srt/.txt) trace file,
+                             streamed line by line (constant memory)
+    --lenient                skip malformed trace lines instead of failing;
+                             the report shows the skipped-line count
     --synthetic <cello|financial>   generate a workload (default: cello)
 
 WORKLOAD (synthetic only):
@@ -147,6 +150,8 @@ pub struct Cli {
     pub command: Command,
     /// Workload source.
     pub source: SourceArg,
+    /// Skip malformed trace lines instead of failing the run.
+    pub lenient: bool,
     /// Synthetic request count.
     pub requests: usize,
     /// Synthetic distinct blocks.
@@ -193,6 +198,7 @@ impl Default for Cli {
         Cli {
             command: Command::Simulate,
             source: SourceArg::SyntheticCello,
+            lenient: false,
             requests: 8_000,
             data_items: 3_500,
             rate: 15.0,
@@ -270,6 +276,7 @@ impl Cli {
             };
             match flag.as_str() {
                 "--trace" => cli.source = SourceArg::TraceFile(PathBuf::from(value("--trace")?)),
+                "--lenient" => cli.lenient = true,
                 "--synthetic" => {
                     cli.source = match value("--synthetic")?.as_str() {
                         "cello" => SourceArg::SyntheticCello,
@@ -405,6 +412,9 @@ mod tests {
             cli.source,
             SourceArg::TraceFile(PathBuf::from("/tmp/foo.spc"))
         );
+        assert!(!cli.lenient);
+        let cli = Cli::parse(&argv("stats --trace /tmp/foo.spc --lenient")).unwrap();
+        assert!(cli.lenient);
     }
 
     #[test]

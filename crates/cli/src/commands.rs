@@ -1,20 +1,34 @@
 //! Command execution: load/generate the workload, run, render the report.
+//!
+//! Trace files are never slurped into memory: every pass re-opens the
+//! file and streams records line by line ([`SpcStream`]/[`SrtStream`]),
+//! so ingestion stays constant-memory regardless of trace size.
+//! Commands that only need one pass (stats) or two passes (simulate
+//! with an event-loop scheduler) never materialize a [`Trace`]; only
+//! the offline MWIS plan and `compare` do.
 
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
 
 use spindown_core::cost::CostFunction;
 use spindown_core::experiment::{
-    requests_from_trace, run_always_on_baseline, run_experiment, ExperimentSpec,
+    build_scheduler, requests_from_trace, run_always_on_baseline, run_experiment, scan_stream,
+    ExperimentSpec,
 };
 use spindown_core::metrics::RunMetrics;
 use spindown_core::model::Request;
-use spindown_core::placement::PlacementConfig;
-use spindown_core::system::{PolicyKind, SystemConfig};
-use spindown_trace::record::Trace;
+use spindown_core::placement::{PlacementConfig, PlacementMap};
+use spindown_core::system::{run_system_streamed, PolicyKind, SystemConfig};
+use spindown_trace::record::{Trace, TraceRecord};
+use spindown_trace::spc::SpcStream;
+use spindown_trace::srt::SrtStream;
 use spindown_trace::stats::TraceStats;
+use spindown_trace::stream::{collect_trace, EnsureSorted};
 use spindown_trace::synth::arrivals::OnOffProcess;
-use spindown_trace::synth::{CelloLike, FinancialLike, TraceGenerator};
-use spindown_trace::{spc, srt};
+use spindown_trace::synth::{CelloLike, FinancialLike};
+use spindown_trace::{ParsePolicy, StreamError};
 
 use crate::args::{Cli, Command, SchedulerArg, SourceArg};
 
@@ -53,20 +67,201 @@ pub fn execute(cli: &Cli) -> Result<String, CommandError> {
     if cli.command == Command::Bench {
         return bench_report(cli);
     }
-    let trace = load_trace(cli)?;
+    let workload = Workload::from_cli(cli)?;
     match cli.command {
-        Command::Stats => Ok(stats_report(&trace)),
-        Command::Simulate => {
-            let requests = requests_from_trace(&trace);
-            let m = run_experiment(&requests, &spec(cli, cli.scheduler));
-            Ok(simulate_report(cli, &requests, &m))
-        }
-        Command::Compare => {
-            let requests = requests_from_trace(&trace);
-            Ok(compare_report(cli, &requests))
-        }
+        Command::Stats => stats_report(&workload),
+        Command::Simulate => simulate_command(cli, &workload),
+        Command::Compare => compare_command(cli, &workload),
         Command::Bench => unreachable!("handled above"),
     }
+}
+
+/// Trace file format, sniffed from the extension.
+#[derive(Debug, Clone, Copy)]
+enum FileFormat {
+    Spc,
+    Srt,
+}
+
+/// A replayable workload: each [`Workload::open`] starts a fresh
+/// streaming pass over the same records (re-opens the file, re-seeds
+/// the generator).
+enum Workload {
+    File {
+        path: PathBuf,
+        format: FileFormat,
+        policy: ParsePolicy,
+    },
+    Cello(CelloLike, u64),
+    Financial(FinancialLike, u64),
+}
+
+/// One streaming pass over a workload's records.
+enum RecordPass {
+    Spc(SpcStream<BufReader<File>>),
+    Srt(SrtStream<BufReader<File>>),
+    Synth(Box<dyn Iterator<Item = TraceRecord>>),
+}
+
+impl Iterator for RecordPass {
+    type Item = Result<TraceRecord, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RecordPass::Spc(s) => s.next().map(|r| r.map_err(StreamError::from)),
+            RecordPass::Srt(s) => s.next().map(|r| r.map_err(StreamError::from)),
+            RecordPass::Synth(s) => s.next().map(Ok),
+        }
+    }
+}
+
+impl RecordPass {
+    /// Malformed lines skipped so far (lenient parsing only).
+    fn skipped(&self) -> usize {
+        match self {
+            RecordPass::Spc(s) => s.skipped(),
+            RecordPass::Srt(s) => s.skipped(),
+            RecordPass::Synth(_) => 0,
+        }
+    }
+}
+
+impl Workload {
+    fn from_cli(cli: &Cli) -> Result<Workload, CommandError> {
+        let policy = if cli.lenient {
+            ParsePolicy::Lenient
+        } else {
+            ParsePolicy::Strict
+        };
+        match &cli.source {
+            SourceArg::TraceFile(path) => {
+                let ext = path
+                    .extension()
+                    .and_then(|e| e.to_str())
+                    .unwrap_or("")
+                    .to_ascii_lowercase();
+                let format = match ext.as_str() {
+                    "spc" | "csv" => FileFormat::Spc,
+                    "srt" | "txt" => FileFormat::Srt,
+                    _ => return Err(CommandError::UnknownFormat(path.clone())),
+                };
+                Ok(Workload::File {
+                    path: path.clone(),
+                    format,
+                    policy,
+                })
+            }
+            SourceArg::SyntheticCello => {
+                let sources = 24;
+                let on_frac = {
+                    let e_on = 1.5 * 2.0 / 0.5;
+                    let e_off = 1.3 * 30.0 / 0.3;
+                    e_on / (e_on + e_off)
+                };
+                Ok(Workload::Cello(
+                    CelloLike {
+                        requests: cli.requests,
+                        data_items: cli.data_items,
+                        arrivals: OnOffProcess {
+                            sources,
+                            on_shape: 1.5,
+                            on_scale_s: 2.0,
+                            off_shape: 1.3,
+                            off_scale_s: 30.0,
+                            burst_rate: cli.rate / (sources as f64 * on_frac),
+                        },
+                        ..CelloLike::default()
+                    },
+                    cli.seed,
+                ))
+            }
+            SourceArg::SyntheticFinancial => Ok(Workload::Financial(
+                FinancialLike {
+                    requests: cli.requests,
+                    data_items: cli.data_items,
+                    rate: cli.rate,
+                    ..FinancialLike::default()
+                },
+                cli.seed,
+            )),
+        }
+    }
+
+    fn open(&self) -> Result<RecordPass, CommandError> {
+        match self {
+            Workload::File {
+                path,
+                format,
+                policy,
+            } => {
+                let file = File::open(path).map_err(|e| CommandError::Io(path.clone(), e))?;
+                let reader = BufReader::new(file);
+                Ok(match format {
+                    FileFormat::Spc => RecordPass::Spc(SpcStream::new(reader, *policy)),
+                    FileFormat::Srt => RecordPass::Srt(SrtStream::new(reader, *policy)),
+                })
+            }
+            Workload::Cello(gen, seed) => Ok(RecordPass::Synth(Box::new(gen.stream(*seed)))),
+            Workload::Financial(gen, seed) => Ok(RecordPass::Synth(Box::new(gen.stream(*seed)))),
+        }
+    }
+}
+
+/// Drains a full pass into an in-memory [`Trace`] — only for commands
+/// that genuinely need the whole workload at once (offline MWIS plans,
+/// `compare`). Returns the skipped-line count alongside.
+fn materialize(workload: &Workload) -> Result<(Trace, usize), CommandError> {
+    let mut pass = workload.open()?;
+    let trace =
+        collect_trace(&mut pass).map_err(|e: StreamError| CommandError::Parse(e.to_string()))?;
+    Ok((trace, pass.skipped()))
+}
+
+fn simulate_command(cli: &Cli, workload: &Workload) -> Result<String, CommandError> {
+    let spec = spec(cli, cli.scheduler);
+    match build_scheduler(&spec.scheduler, spec.seed) {
+        Some(mut sched) => {
+            // Constant-memory path: pass one folds the stream to its
+            // scan summary, pass two feeds the event loop directly.
+            let mut pass1 = workload.open()?;
+            let scan =
+                scan_stream(&mut pass1).map_err(|e| CommandError::Parse(e.to_string()))?;
+            let skipped_scan = pass1.skipped();
+            let reads = scan.reads();
+            let span_s = scan.span_s();
+            let placement = PlacementMap::build(scan.data_space(), &spec.placement, spec.seed);
+            let config = SystemConfig {
+                disks: spec.placement.disks,
+                seed: spec.seed,
+                ..spec.system.clone()
+            };
+            let mut pass2 = workload.open()?;
+            let mut source = scan.requests(&mut pass2);
+            let m = run_system_streamed(&mut source, &placement, sched.as_mut(), &config)
+                .map_err(|e| CommandError::Parse(e.0))?;
+            drop(source);
+            let skipped = skipped_scan.max(pass2.skipped());
+            Ok(simulate_report(cli, reads, span_s, skipped, &m))
+        }
+        None => {
+            // Offline MWIS plans over the whole stream: materialize.
+            let (trace, skipped) = materialize(workload)?;
+            let requests = requests_from_trace(&trace);
+            let m = run_experiment(&requests, &spec);
+            let span_s = requests.last().map(|r| r.at.as_secs_f64()).unwrap_or(0.0);
+            Ok(simulate_report(cli, requests.len(), span_s, skipped, &m))
+        }
+    }
+}
+
+fn compare_command(cli: &Cli, workload: &Workload) -> Result<String, CommandError> {
+    let (trace, skipped) = materialize(workload)?;
+    let requests = requests_from_trace(&trace);
+    let mut s = compare_report(cli, &requests);
+    if skipped > 0 {
+        let _ = write!(s, "\n(skipped {skipped} malformed trace lines)");
+    }
+    Ok(s)
 }
 
 /// Runs the zero-dependency micro-benchmarks, writes the JSON report to
@@ -99,54 +294,6 @@ fn bench_report(cli: &Cli) -> Result<String, CommandError> {
     Ok(out)
 }
 
-fn load_trace(cli: &Cli) -> Result<Trace, CommandError> {
-    match &cli.source {
-        SourceArg::TraceFile(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| CommandError::Io(path.clone(), e))?;
-            let ext = path
-                .extension()
-                .and_then(|e| e.to_str())
-                .unwrap_or("")
-                .to_ascii_lowercase();
-            match ext.as_str() {
-                "spc" | "csv" => spc::parse(&text).map_err(|e| CommandError::Parse(e.to_string())),
-                "srt" | "txt" => srt::parse(&text).map_err(|e| CommandError::Parse(e.to_string())),
-                _ => Err(CommandError::UnknownFormat(path.clone())),
-            }
-        }
-        SourceArg::SyntheticCello => {
-            let sources = 24;
-            let on_frac = {
-                let e_on = 1.5 * 2.0 / 0.5;
-                let e_off = 1.3 * 30.0 / 0.3;
-                e_on / (e_on + e_off)
-            };
-            Ok(CelloLike {
-                requests: cli.requests,
-                data_items: cli.data_items,
-                arrivals: OnOffProcess {
-                    sources,
-                    on_shape: 1.5,
-                    on_scale_s: 2.0,
-                    off_shape: 1.3,
-                    off_scale_s: 30.0,
-                    burst_rate: cli.rate / (sources as f64 * on_frac),
-                },
-                ..CelloLike::default()
-            }
-            .generate(cli.seed))
-        }
-        SourceArg::SyntheticFinancial => Ok(FinancialLike {
-            requests: cli.requests,
-            data_items: cli.data_items,
-            rate: cli.rate,
-            ..FinancialLike::default()
-        }
-        .generate(cli.seed)),
-    }
-}
-
 fn spec(cli: &Cli, scheduler: SchedulerArg) -> ExperimentSpec {
     let cost = CostFunction {
         alpha: cli.alpha,
@@ -173,23 +320,28 @@ fn spec(cli: &Cli, scheduler: SchedulerArg) -> ExperimentSpec {
     }
 }
 
-fn stats_report(trace: &Trace) -> String {
-    format!(
-        "trace statistics\n================\n{}",
-        TraceStats::compute(trace)
-    )
+/// One-pass streaming statistics; the trace is never materialized.
+/// Requires the file to be time-sorted (the batch parsers historically
+/// re-sorted; the streaming path reports out-of-order input instead).
+fn stats_report(workload: &Workload) -> Result<String, CommandError> {
+    let mut pass = workload.open()?;
+    let stats = TraceStats::from_stream(EnsureSorted::new(&mut pass))
+        .map_err(|e| CommandError::Parse(e.to_string()))?;
+    let mut s = format!("trace statistics\n================\n{stats}");
+    if pass.skipped() > 0 {
+        let _ = write!(s, "\nskipped lines       : {}", pass.skipped());
+    }
+    Ok(s)
 }
 
-fn simulate_report(cli: &Cli, requests: &[Request], m: &RunMetrics) -> String {
+fn simulate_report(cli: &Cli, reads: usize, span_s: f64, skipped: usize, m: &RunMetrics) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "spindown simulation report");
     let _ = writeln!(s, "==========================");
-    let _ = writeln!(
-        s,
-        "workload : {} reads over {:.0} s",
-        requests.len(),
-        requests.last().map(|r| r.at.as_secs_f64()).unwrap_or(0.0)
-    );
+    let _ = writeln!(s, "workload : {reads} reads over {span_s:.0} s");
+    if skipped > 0 {
+        let _ = writeln!(s, "skipped  : {skipped} malformed trace lines");
+    }
     let _ = writeln!(
         s,
         "system   : {} disks, replication {}, zipf {}, policy {}, {} queue",
@@ -325,6 +477,56 @@ mod tests {
         cli.source = SourceArg::TraceFile(path.clone());
         let report = execute(&cli).unwrap();
         assert!(report.contains("workload : 2 reads"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn lenient_skips_malformed_lines_and_reports_count() {
+        let dir = std::env::temp_dir().join("spindown-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.spc");
+        std::fs::write(
+            &path,
+            "# header comment\n0,1024,4096,r,0.5\ngarbage line\n0,2048,4096,r,30.0\n0,bad,4096,r,31.0\n",
+        )
+        .unwrap();
+
+        // Strict (default): the malformed line fails the run.
+        let mut cli = small_cli("--disks 4 --replication 2");
+        cli.source = SourceArg::TraceFile(path.clone());
+        assert!(matches!(
+            execute(&cli).unwrap_err(),
+            CommandError::Parse(_)
+        ));
+
+        // Lenient: both bad lines are skipped and counted; blank/comment
+        // lines are not counted as skipped.
+        cli.lenient = true;
+        let report = execute(&cli).unwrap();
+        assert!(report.contains("workload : 2 reads"), "{report}");
+        assert!(
+            report.contains("skipped  : 2 malformed trace lines"),
+            "{report}"
+        );
+
+        // Stats streams one-pass and reports the same count.
+        cli.command = Command::Stats;
+        let report = execute(&cli).unwrap();
+        assert!(report.contains("skipped lines       : 2"), "{report}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn mwis_still_runs_from_trace_file() {
+        let dir = std::env::temp_dir().join("spindown-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini-mwis.spc");
+        std::fs::write(&path, "0,1024,4096,r,0.5\n0,2048,4096,r,30.0\n").unwrap();
+        let mut cli = small_cli("--disks 4 --replication 2 --scheduler mwis");
+        cli.source = SourceArg::TraceFile(path.clone());
+        let report = execute(&cli).unwrap();
+        assert!(report.contains("workload : 2 reads"), "{report}");
+        assert!(report.contains("scheduler: mwis"), "{report}");
         std::fs::remove_file(path).ok();
     }
 

@@ -2,21 +2,23 @@
 //! into one [`RunMetrics`] row, the unit every figure in the paper's
 //! evaluation is built from.
 
+use std::collections::HashSet;
+
 use spindown_disk::mechanics::Mechanics;
 use spindown_sim::rng::SimRng;
-use spindown_sim::time::SimDuration;
-use spindown_trace::record::Trace;
+use spindown_sim::time::{SimDuration, SimTime};
+use spindown_trace::record::{OpKind, Trace, TraceRecord};
 
 use crate::cost::CostFunction;
 use crate::metrics::RunMetrics;
-use crate::model::Request;
+use crate::model::{DataId, Request};
 use crate::offline::evaluate_offline;
 use crate::placement::{PlacementConfig, PlacementMap};
 use crate::sched::{
     HeuristicScheduler, LoadAwareScheduler, MwisPlanner, MwisSolver, RandomScheduler, Scheduler,
     StaticScheduler, WscScheduler,
 };
-use crate::system::{run_system, PolicyKind, SystemConfig};
+use crate::system::{run_system, PolicyKind, SourceError, SystemConfig};
 
 /// Which scheduling algorithm an experiment runs (paper §4.3).
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +132,150 @@ pub fn data_space(requests: &[Request]) -> usize {
         .unwrap_or(0)
 }
 
+/// Pass-one summary of a trace stream: the compact state (O(distinct
+/// data), never O(records)) that [`StreamScan::requests`] needs to turn
+/// a second pass over the same records into the scheduler's request
+/// stream without materializing a [`Trace`].
+///
+/// The two-pass pair is the streaming equivalent of
+/// [`requests_from_trace`]: reads only, rebased to the first read,
+/// densified over read ids — differential tests pin the outputs
+/// identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamScan {
+    /// Sorted distinct data ids of the read records; a dense id is the
+    /// rank in this table (matching [`Trace::densified`]'s ascending
+    /// remap).
+    ids: Vec<u64>,
+    /// Number of read records seen.
+    reads: usize,
+    /// Timestamp of the first read record — the rebase anchor.
+    anchor: SimTime,
+    /// Timestamp of the last read record.
+    end: SimTime,
+}
+
+impl StreamScan {
+    /// Number of read records the scan saw (= requests pass two yields).
+    pub fn reads(&self) -> usize {
+        self.reads
+    }
+
+    /// Size of the dense data-id space (distinct read ids).
+    pub fn data_space(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Rebased span of the read stream, seconds (= the last request's
+    /// arrival time after pass two).
+    pub fn span_s(&self) -> f64 {
+        self.end.saturating_since(self.anchor).as_secs_f64()
+    }
+
+    /// Adapts a second pass over the same records into a request source
+    /// for [`crate::system::run_system_streamed`]. `stream` must replay
+    /// the records of the scanned pass in the same (time-sorted) order —
+    /// re-open the file, re-seed the generator.
+    pub fn requests<S>(self, stream: S) -> StreamRequests<S> {
+        StreamRequests {
+            inner: stream,
+            scan: self,
+            next_index: 0,
+        }
+    }
+}
+
+/// First pass: folds a record stream down to its [`StreamScan`] summary.
+/// Fails with the stream's first error.
+pub fn scan_stream<E>(
+    stream: impl Iterator<Item = Result<TraceRecord, E>>,
+) -> Result<StreamScan, E> {
+    let mut ids: HashSet<u64> = HashSet::new();
+    let mut reads = 0usize;
+    let mut anchor: Option<SimTime> = None;
+    let mut end = SimTime::ZERO;
+    for record in stream {
+        let r = record?;
+        if r.op != OpKind::Read {
+            continue;
+        }
+        reads += 1;
+        anchor.get_or_insert(r.at);
+        end = end.max(r.at);
+        ids.insert(r.data.0);
+    }
+    let mut ids: Vec<u64> = ids.into_iter().collect();
+    ids.sort_unstable();
+    Ok(StreamScan {
+        ids,
+        reads,
+        anchor: anchor.unwrap_or(SimTime::ZERO),
+        end,
+    })
+}
+
+/// Second pass: lazily maps trace records to [`Request`]s (reads only,
+/// rebased, dense ids, stream-order indices) using a prior
+/// [`StreamScan`]. Yields [`SourceError`]s for upstream failures or
+/// records whose data id the scan never saw (a divergent replay).
+#[derive(Debug)]
+pub struct StreamRequests<S> {
+    inner: S,
+    scan: StreamScan,
+    next_index: u32,
+}
+
+impl<S, E> Iterator for StreamRequests<S>
+where
+    S: Iterator<Item = Result<TraceRecord, E>>,
+    E: std::fmt::Display,
+{
+    type Item = Result<Request, SourceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let r = match self.inner.next()? {
+                Ok(r) => r,
+                Err(e) => return Some(Err(SourceError::new(e.to_string()))),
+            };
+            if r.op != OpKind::Read {
+                continue;
+            }
+            let dense = match self.scan.ids.binary_search(&r.data.0) {
+                Ok(rank) => rank as u64,
+                Err(_) => {
+                    return Some(Err(SourceError::new(format!(
+                        "data id {} absent from the scan pass (replay diverged)",
+                        r.data.0
+                    ))))
+                }
+            };
+            let index = self.next_index;
+            self.next_index += 1;
+            return Some(Ok(Request {
+                index,
+                at: SimTime::ZERO + r.at.saturating_since(self.scan.anchor),
+                data: DataId(dense),
+                size: r.size,
+            }));
+        }
+    }
+}
+
+/// Builds the event-loop scheduler for `kind`, or `None` for the
+/// offline MWIS plan (which never runs through the simulator — use
+/// [`run_experiment`] or [`crate::offline::evaluate_offline`] instead).
+pub fn build_scheduler(kind: &SchedulerKind, seed: u64) -> Option<Box<dyn Scheduler>> {
+    match kind {
+        SchedulerKind::Random => Some(Box::new(RandomScheduler::new(seed))),
+        SchedulerKind::Static => Some(Box::new(StaticScheduler)),
+        SchedulerKind::Heuristic(cost) => Some(Box::new(HeuristicScheduler::new(*cost))),
+        SchedulerKind::LoadAware => Some(Box::new(LoadAwareScheduler)),
+        SchedulerKind::Wsc { cost, interval } => Some(Box::new(WscScheduler::new(*cost, *interval))),
+        SchedulerKind::Mwis { .. } => None,
+    }
+}
+
 /// Runs one experiment end to end.
 ///
 /// Online and batch schedulers run through the event-driven simulator;
@@ -164,16 +310,8 @@ pub fn run_experiment(requests: &[Request], spec: &ExperimentSpec) -> RunMetrics
             )
         }
         online_or_batch => {
-            let mut scheduler: Box<dyn Scheduler> = match online_or_batch {
-                SchedulerKind::Random => Box::new(RandomScheduler::new(spec.seed)),
-                SchedulerKind::Static => Box::new(StaticScheduler),
-                SchedulerKind::Heuristic(cost) => Box::new(HeuristicScheduler::new(*cost)),
-                SchedulerKind::LoadAware => Box::new(LoadAwareScheduler),
-                SchedulerKind::Wsc { cost, interval } => {
-                    Box::new(WscScheduler::new(*cost, *interval))
-                }
-                SchedulerKind::Mwis { .. } => unreachable!("handled above"),
-            };
+            let mut scheduler = build_scheduler(online_or_batch, spec.seed)
+                .expect("non-MWIS kinds build an event-loop scheduler");
             let config = SystemConfig {
                 disks: spec.placement.disks,
                 seed: spec.seed,

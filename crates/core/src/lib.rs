@@ -66,8 +66,13 @@ pub mod saving;
 pub mod sched;
 pub mod system;
 
-pub use experiment::{requests_from_trace, run_experiment, ExperimentSpec, SchedulerKind};
+pub use experiment::{
+    build_scheduler, requests_from_trace, run_experiment, scan_stream, ExperimentSpec,
+    SchedulerKind, StreamRequests, StreamScan,
+};
 pub use metrics::{DiskSummary, RunMetrics};
 pub use model::{Assignment, DataId, DiskId, Request};
 pub use placement::{PlacementConfig, PlacementMap};
-pub use system::{PolicyKind, SystemConfig};
+pub use system::{
+    run_system, run_system_streamed, PolicyKind, RequestSource, SourceError, SystemConfig,
+};

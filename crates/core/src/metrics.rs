@@ -4,7 +4,7 @@ use spindown_disk::state::DiskPowerState;
 use spindown_sim::stats::LatencyHistogram;
 
 /// Per-disk summary (one bar of the paper's Fig. 9/17).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiskSummary {
     /// Total energy consumed by the disk, joules.
     pub energy_j: f64,
@@ -27,7 +27,10 @@ impl DiskSummary {
 }
 
 /// Complete results of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` lets differential tests assert the streaming and
+/// materialized pipelines produce bit-identical results.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Scheduler name.
     pub scheduler: String,
@@ -52,6 +55,13 @@ pub struct RunMetrics {
     /// Optional sampled total-power timeline `(t_seconds, watts)` —
     /// populated when the system config enables sampling.
     pub power_timeline: Vec<(f64, f64)>,
+    /// Peak number of events resident in the simulator's event queue.
+    /// Under streamed ingestion this is bounded by in-flight disk work,
+    /// not trace length — the metric that proves constant-memory replay.
+    pub peak_events: usize,
+    /// Peak number of requests buffered by the pipeline at once (batch
+    /// buffer plus dispatched-but-uncompleted accounting).
+    pub peak_in_flight: usize,
 }
 
 impl RunMetrics {
@@ -138,6 +148,8 @@ mod tests {
                 summary(0.5, 100.0),
             ],
             power_timeline: Vec::new(),
+            peak_events: 0,
+            peak_in_flight: 0,
         }
     }
 

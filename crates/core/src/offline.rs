@@ -94,6 +94,9 @@ pub fn evaluate_offline(
         response,
         per_disk: per_disk_summary,
         power_timeline: Vec::new(),
+        // The analytic evaluator never touches an event queue.
+        peak_events: 0,
+        peak_in_flight: 0,
     }
 }
 

@@ -103,6 +103,7 @@ impl MwisPlanner {
     /// saving `X(i,j,k) > 0`. Returns the node weights, the `(i, j, k)`
     /// triple per node, and per-request buckets of touching nodes that
     /// Step 2 scans for conflicts.
+    #[allow(clippy::type_complexity)]
     fn step1_nodes(
         &self,
         requests: &[Request],

@@ -5,6 +5,16 @@
 //! This is the online/batch counterpart of the analytic
 //! [`crate::offline`] evaluator, playing the role OMNeT++ + DiskSim play
 //! in the paper's experiments.
+//!
+//! Arrivals are *pulled* from a [`RequestSource`] one at a time
+//! ([`run_system_streamed`]), so the event queue only ever holds
+//! in-flight disk events — a multi-GB trace streams through in constant
+//! memory. [`run_system`] wraps a `&[Request]` slice as a source for
+//! in-memory callers and is the differential oracle for the streaming
+//! path (both run the identical loop, so metrics are bit-identical by
+//! construction; tests pin it anyway).
+
+use std::collections::HashMap;
 
 use spindown_disk::disk::{Disk, DiskEvent, DiskRequest};
 use spindown_disk::mechanics::{DiskGeometry, Mechanics};
@@ -73,14 +83,61 @@ impl Default for SystemConfig {
 }
 
 enum Ev {
-    Arrival(u32),
     BatchTick,
     Sample,
     Disk(u32, DiskEvent),
 }
 
+/// Failure surfaced by a [`RequestSource`]: an upstream I/O or parse
+/// error, or an out-of-order arrival. Carries a human-readable message
+/// (the underlying errors are not `Clone`/`PartialEq`, so the source is
+/// rendered at the boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError(pub String);
+
+impl SourceError {
+    /// Creates an error with `message`.
+    pub fn new(message: impl Into<String>) -> Self {
+        SourceError(message.into())
+    }
+}
+
+impl std::fmt::Display for SourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// A pull-based, fallible stream of arrivals for
+/// [`run_system_streamed`].
+///
+/// Contract: requests must come out in non-decreasing `at` order (the
+/// engine verifies incrementally and fails fast), and `index` must be
+/// unique among requests simultaneously in flight (it keys completion
+/// accounting). Any `Iterator<Item = Result<Request, SourceError>>`
+/// is a source via the blanket impl.
+pub trait RequestSource {
+    /// Pulls the next arrival; `None` means the stream is exhausted.
+    fn next_request(&mut self) -> Option<Result<Request, SourceError>>;
+}
+
+impl<I> RequestSource for I
+where
+    I: Iterator<Item = Result<Request, SourceError>>,
+{
+    fn next_request(&mut self) -> Option<Result<Request, SourceError>> {
+        self.next()
+    }
+}
+
 /// Runs `scheduler` over `requests` (time-sorted) against `placement`,
 /// returning the full metrics of the run.
+///
+/// Convenience wrapper over [`run_system_streamed`] for in-memory
+/// request vectors; both paths execute the identical event loop, which
+/// makes this the differential-test oracle for streamed ingestion.
 ///
 /// The measurement horizon is `max(last event, last request + saving
 /// window)`, so runs under different schedulers are normalized over
@@ -100,6 +157,39 @@ pub fn run_system(
         requests.windows(2).all(|w| w[0].at <= w[1].at),
         "requests must be sorted by time"
     );
+    let mut source = requests.iter().map(|r| Ok::<Request, SourceError>(*r));
+    run_system_streamed(&mut source, placement, scheduler, config)
+        .expect("in-memory sorted slices cannot fail")
+}
+
+/// Runs `scheduler` over arrivals pulled lazily from `source`.
+///
+/// The event queue holds only in-flight work (disk pipeline events, one
+/// batch tick, one power sample) plus the single look-ahead arrival, so
+/// memory stays bounded by disk count and batch width — never by trace
+/// length. Arrivals are interleaved with simulator events by time;
+/// at equal times the arrival is processed first, matching the
+/// pre-scheduled ordering the materialized path historically used
+/// (arrivals were enqueued before any other event and the queue is
+/// FIFO-stable at ties).
+///
+/// # Errors
+///
+/// Returns the first [`SourceError`] the source yields, or an
+/// out-of-order error if arrivals regress in time. Work already
+/// dispatched is abandoned at that point — the partial metrics are not
+/// returned.
+///
+/// # Panics
+///
+/// Panics if the scheduler returns an off-placement disk or the
+/// placement disagrees with `config.disks`.
+pub fn run_system_streamed(
+    source: &mut dyn RequestSource,
+    placement: &dyn LocationProvider,
+    scheduler: &mut dyn Scheduler,
+    config: &SystemConfig,
+) -> Result<RunMetrics, SourceError> {
     assert_eq!(
         placement.disks(),
         config.disks,
@@ -135,108 +225,135 @@ pub fn run_system(
         })
         .collect();
 
-    let mut queue: EventQueue<Ev> = EventQueue::with_capacity(requests.len() * 2);
-    for r in requests {
-        queue.schedule(r.at, Ev::Arrival(r.index));
-    }
+    // Only in-flight work lives here: per-disk pipeline events plus at
+    // most one batch tick and one power sample — never the trace itself.
+    let mut queue: EventQueue<Ev> =
+        EventQueue::with_capacity((config.disks as usize).saturating_mul(4) + 8);
+
+    // Single-request look-ahead: the head of the arrival stream.
+    let mut pending = pull_next(source, None)?;
+
     let batch_interval = match scheduler.mode() {
         ScheduleMode::Online => None,
         ScheduleMode::Batch(interval) => {
-            if !requests.is_empty() {
+            if pending.is_some() {
                 queue.schedule(SimTime::ZERO + interval, Ev::BatchTick);
             }
             Some(interval)
         }
     };
-
-    if let Some(interval) = config.power_sample {
-        if !requests.is_empty() {
-            queue.schedule(SimTime::ZERO, Ev::Sample);
-            let _ = interval;
-        }
+    if config.power_sample.is_some() && pending.is_some() {
+        queue.schedule(SimTime::ZERO, Ev::Sample);
     }
+
     let mut power_timeline: Vec<(f64, f64)> = Vec::new();
-    let mut batch_buffer: Vec<u32> = Vec::new();
-    let mut arrivals_remaining = requests.len();
+    let mut batch_buffer: Vec<Request> = Vec::new();
+    // Arrival time of every dispatched-but-uncompleted request, keyed by
+    // request id — replaces the indexed lookup into a materialized slice.
+    let mut in_flight: HashMap<u64, SimTime> = HashMap::new();
+    let mut arrivals: usize = 0;
+    let mut trace_end = SimTime::ZERO;
     let mut response = LatencyHistogram::default();
     let mut requests_per_disk: Vec<u64> = vec![0; config.disks as usize];
     let mut last_event = SimTime::ZERO;
+    let mut peak_events = queue.len();
+    let mut peak_in_flight: usize = 0;
 
     // Reusable status snapshot buffer.
     let mut statuses: Vec<DiskStatus> = Vec::with_capacity(config.disks as usize);
 
-    while let Some(ev) = queue.pop() {
-        let now = ev.at;
-        last_event = now;
-        match ev.payload {
-            Ev::Arrival(i) => {
-                arrivals_remaining -= 1;
-                if batch_interval.is_some() {
-                    batch_buffer.push(i);
-                } else {
-                    dispatch(
-                        &[i],
-                        requests,
-                        placement,
-                        scheduler,
-                        &mut disks,
-                        &mut queue,
-                        &mut statuses,
-                        &mut requests_per_disk,
-                        now,
-                        &config.power,
-                    );
-                }
+    loop {
+        // Arrival-first at ties: pre-scheduled arrivals historically held
+        // the lowest sequence numbers in the FIFO-stable queue, so an
+        // arrival at time T ran before any simulator event at T.
+        let take_arrival = match (&pending, queue.peek_time()) {
+            (Some(r), Some(t)) => r.at <= t,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_arrival {
+            let req = pending.take().expect("arrival branch requires a request");
+            pending = pull_next(source, Some(req.at))?;
+            let now = req.at;
+            last_event = last_event.max(now);
+            trace_end = now;
+            arrivals += 1;
+            if batch_interval.is_some() {
+                batch_buffer.push(req);
+            } else {
+                dispatch(
+                    &[req],
+                    placement,
+                    scheduler,
+                    &mut disks,
+                    &mut queue,
+                    &mut statuses,
+                    &mut requests_per_disk,
+                    &mut in_flight,
+                    now,
+                    &config.power,
+                );
             }
-            Ev::BatchTick => {
-                if !batch_buffer.is_empty() {
-                    let batch = std::mem::take(&mut batch_buffer);
-                    dispatch(
-                        &batch,
-                        requests,
-                        placement,
-                        scheduler,
-                        &mut disks,
-                        &mut queue,
-                        &mut statuses,
-                        &mut requests_per_disk,
-                        now,
-                        &config.power,
-                    );
+        } else {
+            let ev = queue.pop().expect("non-arrival branch requires an event");
+            let now = ev.at;
+            last_event = now;
+            match ev.payload {
+                Ev::BatchTick => {
+                    if !batch_buffer.is_empty() {
+                        let batch = std::mem::take(&mut batch_buffer);
+                        dispatch(
+                            &batch,
+                            placement,
+                            scheduler,
+                            &mut disks,
+                            &mut queue,
+                            &mut statuses,
+                            &mut requests_per_disk,
+                            &mut in_flight,
+                            now,
+                            &config.power,
+                        );
+                    }
+                    if pending.is_some() {
+                        let interval = batch_interval.expect("tick implies batch mode");
+                        queue.schedule(now + interval, Ev::BatchTick);
+                    }
                 }
-                if arrivals_remaining > 0 {
-                    let interval = batch_interval.expect("tick implies batch mode");
-                    queue.schedule(now + interval, Ev::BatchTick);
+                Ev::Sample => {
+                    let watts: f64 = disks.iter().map(Disk::power_w).sum();
+                    power_timeline.push((now.as_secs_f64(), watts));
+                    // Keep sampling while real events remain (the only
+                    // pending sample is the one just popped, so a non-empty
+                    // queue or an unconsumed arrival means actual work is
+                    // still in flight).
+                    if !queue.is_empty() || pending.is_some() {
+                        let interval = config.power_sample.expect("sampling enabled");
+                        queue.schedule(now + interval, Ev::Sample);
+                    }
                 }
-            }
-            Ev::Sample => {
-                let watts: f64 = disks.iter().map(Disk::power_w).sum();
-                power_timeline.push((now.as_secs_f64(), watts));
-                // Keep sampling while real events remain (the only pending
-                // sample is the one just popped, so a non-empty queue means
-                // actual work is still in flight).
-                if !queue.is_empty() {
-                    let interval = config.power_sample.expect("sampling enabled");
-                    queue.schedule(now + interval, Ev::Sample);
-                }
-            }
-            Ev::Disk(d, event) => {
-                let outcome = disks[d as usize].handle(now, event);
-                if let Some(done) = outcome.completed {
-                    let arrival = requests[done.id as usize].at;
-                    response.record(now.saturating_since(arrival));
-                }
-                for dir in outcome.directives {
-                    queue.schedule(now + dir.after, Ev::Disk(d, dir.event));
+                Ev::Disk(d, event) => {
+                    let outcome = disks[d as usize].handle(now, event);
+                    if let Some(done) = outcome.completed {
+                        let arrival = in_flight
+                            .remove(&done.id)
+                            .expect("completed request must be in flight");
+                        response.record(now.saturating_since(arrival));
+                    }
+                    for dir in outcome.directives {
+                        queue.schedule(now + dir.after, Ev::Disk(d, dir.event));
+                    }
                 }
             }
         }
+        peak_events = peak_events.max(queue.len());
+        peak_in_flight = peak_in_flight.max(in_flight.len() + batch_buffer.len());
     }
 
     // Horizon: cover the post-trace drain window so normalization is
     // comparable across schedulers.
     let model = SavingModel::new(&config.power);
-    let trace_end = requests.last().map(|r| r.at).unwrap_or(SimTime::ZERO);
     let horizon = last_event.max(trace_end + model.window());
     let horizon_s = horizon.as_secs_f64();
 
@@ -252,9 +369,9 @@ pub fn run_system(
         })
         .collect();
 
-    RunMetrics {
+    Ok(RunMetrics {
         scheduler: scheduler.name().into(),
-        requests: requests.len(),
+        requests: arrivals,
         horizon_s,
         energy_j: per_disk.iter().map(|d| d.energy_j).sum(),
         always_on_j: config.disks as f64 * config.power.idle_w * horizon_s,
@@ -263,20 +380,43 @@ pub fn run_system(
         response,
         per_disk,
         power_timeline,
+        peak_events,
+        peak_in_flight,
+    })
+}
+
+/// Pulls the next arrival from `source`, enforcing the non-decreasing
+/// time contract against the previous arrival.
+fn pull_next(
+    source: &mut dyn RequestSource,
+    prev: Option<SimTime>,
+) -> Result<Option<Request>, SourceError> {
+    match source.next_request() {
+        None => Ok(None),
+        Some(Err(e)) => Err(e),
+        Some(Ok(r)) => {
+            if prev.is_some_and(|p| r.at < p) {
+                return Err(SourceError::new(format!(
+                    "requests must be sorted by time (request {} at {:?} regressed)",
+                    r.index, r.at
+                )));
+            }
+            Ok(Some(r))
+        }
     }
 }
 
 /// Asks the scheduler to place `batch` and enqueues the results.
 #[allow(clippy::too_many_arguments)]
 fn dispatch(
-    batch: &[u32],
-    requests: &[Request],
+    batch: &[Request],
     placement: &dyn LocationProvider,
     scheduler: &mut dyn Scheduler,
     disks: &mut [Disk],
     queue: &mut EventQueue<Ev>,
     statuses: &mut Vec<DiskStatus>,
     requests_per_disk: &mut [u64],
+    in_flight: &mut HashMap<u64, SimTime>,
     now: SimTime,
     power: &PowerParams,
 ) {
@@ -292,20 +432,21 @@ fn dispatch(
         placement,
         statuses: statuses.as_slice(),
     };
-    let reqs: Vec<Request> = batch.iter().map(|&i| requests[i as usize]).collect();
-    let choices = scheduler.assign(&reqs, &view);
+    let choices = scheduler.assign(batch, &view);
     assert_eq!(
         choices.len(),
-        reqs.len(),
+        batch.len(),
         "scheduler must place every request"
     );
-    for (req, disk_id) in reqs.iter().zip(choices) {
+    for (req, disk_id) in batch.iter().zip(choices) {
         assert!(
             placement.locations(req.data).contains(&disk_id),
             "scheduler placed request {} off-placement ({disk_id})",
             req.index
         );
         requests_per_disk[disk_id.index()] += 1;
+        let prev = in_flight.insert(req.index as u64, req.at);
+        debug_assert!(prev.is_none(), "request id {} already in flight", req.index);
         let lba = lba_of(req.data.0, disk_id.0, disks[disk_id.index()].params());
         let directives = disks[disk_id.index()].enqueue(
             now,

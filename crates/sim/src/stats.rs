@@ -20,7 +20,7 @@ use crate::time::{SimDuration, SimTime};
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -146,7 +146,7 @@ impl OnlineStats {
 /// `[min_value · growth^i, min_value · growth^(i+1))`. With the default
 /// configuration (`min = 10 µs`, `growth = 1.25`) relative quantile error
 /// is bounded by 25 %, plenty for the paper's log-scale plots.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyHistogram {
     min_value: f64,
     log_growth: f64,

@@ -17,7 +17,10 @@
 //! * [`stats`] — [`stats::TraceStats`] to verify those statistics
 //!   (inter-arrival CV, dispersion, popularity skew, fitted Zipf z);
 //! * [`transform`] — merge / window / rescale utilities for preparing
-//!   real traces.
+//!   real traces (each available as a lazy stream adapter too);
+//! * [`stream`] — the pull-based [`stream::RecordStream`] pipeline:
+//!   incremental parsers, lazy adapters and policies that let multi-GB
+//!   traces flow to the simulator in constant memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +29,11 @@ pub mod record;
 pub mod spc;
 pub mod srt;
 pub mod stats;
+pub mod stream;
 pub mod synth;
 pub mod transform;
 
 pub use record::{DataId, OpKind, Trace, TraceRecord};
 pub use stats::TraceStats;
+pub use stream::{ParsePolicy, RecordStream, StreamError};
 pub use synth::{CelloLike, FinancialLike, TraceGenerator};

@@ -72,6 +72,13 @@ impl Trace {
         &self.records
     }
 
+    /// Streams the records as a [`crate::stream::RecordStream`] — the
+    /// trivial in-memory backend, and the oracle the lazy pipeline is
+    /// tested against.
+    pub fn stream(&self) -> crate::stream::TraceStream<'_> {
+        crate::stream::TraceStream::new(self)
+    }
+
     /// Number of requests.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -16,9 +16,12 @@
 //! Data identity follows the paper: one data item per unique `(ASU, LBA)`
 //! pair, encoded as `ASU << 48 | LBA`.
 
+use std::io::BufRead;
+
 use spindown_sim::time::SimTime;
 
 use crate::record::{DataId, OpKind, Trace, TraceRecord};
+use crate::stream::{ParsePolicy, StreamError};
 
 /// A parse failure with its 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,23 +41,40 @@ pub enum SpcErrorKind {
     BadNumber(&'static str),
     /// The opcode field was not `r`/`R`/`w`/`W`.
     BadOpcode(String),
+    /// The underlying reader failed (`line` is the line being read).
+    Io(String),
 }
 
-impl std::fmt::Display for SpcParseError {
+impl std::fmt::Display for SpcErrorKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match &self.kind {
-            SpcErrorKind::TooFewFields => write!(f, "line {}: too few fields", self.line),
-            SpcErrorKind::BadNumber(field) => {
-                write!(f, "line {}: invalid number in field {}", self.line, field)
-            }
-            SpcErrorKind::BadOpcode(op) => {
-                write!(f, "line {}: invalid opcode {:?}", self.line, op)
-            }
+        match self {
+            SpcErrorKind::TooFewFields => write!(f, "too few fields"),
+            SpcErrorKind::BadNumber(field) => write!(f, "invalid number in field {field}"),
+            SpcErrorKind::BadOpcode(op) => write!(f, "invalid opcode {op:?}"),
+            SpcErrorKind::Io(msg) => write!(f, "read error: {msg}"),
         }
     }
 }
 
+impl std::fmt::Display for SpcParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
 impl std::error::Error for SpcParseError {}
+
+impl From<SpcParseError> for StreamError {
+    fn from(e: SpcParseError) -> Self {
+        match e.kind {
+            SpcErrorKind::Io(msg) => StreamError::Io(msg),
+            kind => StreamError::Malformed {
+                line: e.line,
+                message: kind.to_string(),
+            },
+        }
+    }
+}
 
 /// Encodes an `(asu, lba)` pair as the paper's data identity.
 pub fn data_id(asu: u16, lba: u64) -> DataId {
@@ -75,16 +95,85 @@ pub fn data_id(asu: u16, lba: u64) -> DataId {
 /// assert_eq!(trace.reads_only().len(), 1);
 /// ```
 pub fn parse(text: &str) -> Result<Trace, SpcParseError> {
-    let mut records = Vec::new();
-    for (idx, line) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+    crate::stream::collect_trace(SpcStream::new(text.as_bytes(), ParsePolicy::Strict))
+}
+
+/// Incremental SPC parser over any [`BufRead`]: one line is held in
+/// memory at a time, so arbitrarily large traces stream in constant
+/// space. Yields records in *file* order (SPC exports are time-sorted).
+///
+/// CRLF line endings, surrounding whitespace, blank lines and `#`
+/// comments are tolerated. Under [`ParsePolicy::Strict`] the first
+/// malformed line aborts the stream; under [`ParsePolicy::Lenient`]
+/// malformed lines are skipped and counted ([`SpcStream::skipped`]).
+/// I/O failures always abort.
+#[derive(Debug)]
+pub struct SpcStream<R> {
+    reader: R,
+    buf: String,
+    line_no: usize,
+    policy: ParsePolicy,
+    skipped: usize,
+    done: bool,
+}
+
+impl<R: BufRead> SpcStream<R> {
+    /// Streams SPC records from `reader` under `policy`.
+    pub fn new(reader: R, policy: ParsePolicy) -> Self {
+        SpcStream {
+            reader,
+            buf: String::new(),
+            line_no: 0,
+            policy,
+            skipped: 0,
+            done: false,
         }
-        records.push(parse_line(line, line_no)?);
     }
-    Ok(Trace::from_records(records))
+
+    /// Malformed lines skipped so far under [`ParsePolicy::Lenient`].
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+}
+
+impl<R: BufRead> Iterator for SpcStream<R> {
+    type Item = Result<TraceRecord, SpcParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(SpcParseError {
+                        line: self.line_no + 1,
+                        kind: SpcErrorKind::Io(e.to_string()),
+                    }));
+                }
+            }
+            self.line_no += 1;
+            let line = self.buf.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_line(line, self.line_no) {
+                Ok(rec) => return Some(Ok(rec)),
+                Err(e) => match self.policy {
+                    ParsePolicy::Strict => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    ParsePolicy::Lenient => self.skipped += 1,
+                },
+            }
+        }
+        None
+    }
 }
 
 fn parse_line(line: &str, line_no: usize) -> Result<TraceRecord, SpcParseError> {
@@ -237,5 +326,56 @@ mod tests {
     fn whitespace_tolerant() {
         let t = parse(" 1 , 2 , 3 , r , 0.5 \n").unwrap();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn crlf_line_endings_tolerated() {
+        let t = parse("1,2,3,r,0.5\r\n# comment\r\n\r\n1,4,3,w,0.6\r\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records()[0].at, SimTime::from_secs_f64(0.5));
+    }
+
+    #[test]
+    fn stream_matches_batch_parse() {
+        let text = "0,20941264,8192,W,0.551706\n# c\n1,3436288,15872,r,1.011732\n";
+        let batch = parse(text).unwrap();
+        let streamed: Vec<_> = SpcStream::new(text.as_bytes(), ParsePolicy::Strict)
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(streamed, batch.records());
+    }
+
+    #[test]
+    fn lenient_skips_and_counts_malformed_lines() {
+        let text = "1,2,3,r,0.5\nbroken line\n1,2,3,x,0.6\n1,4,3,w,0.7\n";
+        let mut s = SpcStream::new(text.as_bytes(), ParsePolicy::Lenient);
+        let recs: Vec<_> = (&mut s).map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(s.skipped(), 2);
+    }
+
+    #[test]
+    fn strict_stream_fuses_after_first_error() {
+        let text = "broken\n1,2,3,r,0.5\n";
+        let mut s = SpcStream::new(text.as_bytes(), ParsePolicy::Strict);
+        assert!(s.next().unwrap().is_err());
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn io_failures_surface_as_io_errors() {
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let reader = std::io::BufReader::new(FailingReader);
+        let e = SpcStream::new(reader, ParsePolicy::Lenient)
+            .next()
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(e.kind, SpcErrorKind::Io(_)));
+        assert!(e.to_string().contains("disk on fire"));
     }
 }

@@ -11,26 +11,53 @@
 //! Data identity follows the paper: one data item per unique
 //! `(device, block)` pair.
 
+use std::io::BufRead;
+
 use spindown_sim::time::SimTime;
 
 use crate::record::{DataId, OpKind, Trace, TraceRecord};
+use crate::stream::{ParsePolicy, StreamError};
 
 /// A parse failure with its 1-based line number.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SrtParseError {
     /// 1-based line number of the offending record.
     pub line: usize,
-    /// Human-readable description.
-    pub message: String,
+    /// What went wrong.
+    pub kind: SrtErrorKind,
+}
+
+/// Categories of SRT parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SrtErrorKind {
+    /// A line failed to parse (human-readable description).
+    Malformed(String),
+    /// The underlying reader failed (`line` is the line being read).
+    Io(String),
 }
 
 impl std::fmt::Display for SrtParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        match &self.kind {
+            SrtErrorKind::Malformed(msg) => write!(f, "line {}: {}", self.line, msg),
+            SrtErrorKind::Io(msg) => write!(f, "line {}: read error: {}", self.line, msg),
+        }
     }
 }
 
 impl std::error::Error for SrtParseError {}
+
+impl From<SrtParseError> for StreamError {
+    fn from(e: SrtParseError) -> Self {
+        match e.kind {
+            SrtErrorKind::Io(msg) => StreamError::Io(msg),
+            SrtErrorKind::Malformed(message) => StreamError::Malformed {
+                line: e.line,
+                message,
+            },
+        }
+    }
+}
 
 /// Encodes a `(device, block)` pair as the data identity.
 pub fn data_id(device: u16, block: u64) -> DataId {
@@ -50,49 +77,124 @@ pub fn data_id(device: u16, block: u64) -> DataId {
 /// assert_eq!(trace.len(), 2);
 /// ```
 pub fn parse(text: &str) -> Result<Trace, SrtParseError> {
-    let mut records = Vec::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let err = |message: String| SrtParseError {
-            line: line_no,
-            message,
-        };
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() < 5 {
-            return Err(err(format!("expected 5 fields, got {}", fields.len())));
-        }
-        let ts: f64 = fields[0]
-            .parse()
-            .map_err(|_| err(format!("bad timestamp {:?}", fields[0])))?;
-        if !ts.is_finite() || ts < 0.0 {
-            return Err(err(format!("bad timestamp {:?}", fields[0])));
-        }
-        let device: u16 = fields[1]
-            .parse()
-            .map_err(|_| err(format!("bad device id {:?}", fields[1])))?;
-        let block: u64 = fields[2]
-            .parse()
-            .map_err(|_| err(format!("bad block number {:?}", fields[2])))?;
-        let size: u64 = fields[3]
-            .parse()
-            .map_err(|_| err(format!("bad size {:?}", fields[3])))?;
-        let op = match fields[4] {
-            "r" | "R" => OpKind::Read,
-            "w" | "W" => OpKind::Write,
-            other => return Err(err(format!("bad op {other:?}"))),
-        };
-        records.push(TraceRecord {
-            at: SimTime::from_secs_f64(ts),
-            data: data_id(device, block),
-            size,
-            op,
-        });
+    // Materializing re-sorts, so out-of-order exports are tolerated here
+    // (unlike the raw stream, which yields file order).
+    crate::stream::collect_trace(SrtStream::new(text.as_bytes(), ParsePolicy::Strict))
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<TraceRecord, SrtParseError> {
+    let err = |message: String| SrtParseError {
+        line: line_no,
+        kind: SrtErrorKind::Malformed(message),
+    };
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() < 5 {
+        return Err(err(format!("expected 5 fields, got {}", fields.len())));
     }
-    Ok(Trace::from_records(records))
+    let ts: f64 = fields[0]
+        .parse()
+        .map_err(|_| err(format!("bad timestamp {:?}", fields[0])))?;
+    if !ts.is_finite() || ts < 0.0 {
+        return Err(err(format!("bad timestamp {:?}", fields[0])));
+    }
+    let device: u16 = fields[1]
+        .parse()
+        .map_err(|_| err(format!("bad device id {:?}", fields[1])))?;
+    let block: u64 = fields[2]
+        .parse()
+        .map_err(|_| err(format!("bad block number {:?}", fields[2])))?;
+    let size: u64 = fields[3]
+        .parse()
+        .map_err(|_| err(format!("bad size {:?}", fields[3])))?;
+    let op = match fields[4] {
+        "r" | "R" => OpKind::Read,
+        "w" | "W" => OpKind::Write,
+        other => return Err(err(format!("bad op {other:?}"))),
+    };
+    Ok(TraceRecord {
+        at: SimTime::from_secs_f64(ts),
+        data: data_id(device, block),
+        size,
+        op,
+    })
+}
+
+/// Incremental SRT parser over any [`BufRead`]: one line in memory at a
+/// time. Yields records in *file* order — unlike [`parse`], which
+/// re-sorts while materializing — so feed time-sorted exports (or wrap
+/// in [`crate::stream::EnsureSorted`]) when downstream consumers need
+/// the ordering invariant.
+///
+/// CRLF endings, surrounding whitespace, blank lines and `#` comments
+/// are tolerated; [`ParsePolicy::Lenient`] skips and counts malformed
+/// lines ([`SrtStream::skipped`]). I/O failures always abort.
+#[derive(Debug)]
+pub struct SrtStream<R> {
+    reader: R,
+    buf: String,
+    line_no: usize,
+    policy: ParsePolicy,
+    skipped: usize,
+    done: bool,
+}
+
+impl<R: BufRead> SrtStream<R> {
+    /// Streams SRT records from `reader` under `policy`.
+    pub fn new(reader: R, policy: ParsePolicy) -> Self {
+        SrtStream {
+            reader,
+            buf: String::new(),
+            line_no: 0,
+            policy,
+            skipped: 0,
+            done: false,
+        }
+    }
+
+    /// Malformed lines skipped so far under [`ParsePolicy::Lenient`].
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+}
+
+impl<R: BufRead> Iterator for SrtStream<R> {
+    type Item = Result<TraceRecord, SrtParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(SrtParseError {
+                        line: self.line_no + 1,
+                        kind: SrtErrorKind::Io(e.to_string()),
+                    }));
+                }
+            }
+            self.line_no += 1;
+            let line = self.buf.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match parse_line(line, self.line_no) {
+                Ok(rec) => return Some(Ok(rec)),
+                Err(e) => match self.policy {
+                    ParsePolicy::Strict => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    ParsePolicy::Lenient => self.skipped += 1,
+                },
+            }
+        }
+        None
+    }
 }
 
 /// Serializes a [`Trace`] to SRT text, inverting [`data_id`].
@@ -164,5 +266,47 @@ mod tests {
         // Real exports sometimes append queue depth etc.
         let t = parse("0.5 1 2 4096 R extra stuff\n").unwrap();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn crlf_line_endings_tolerated() {
+        let t = parse("0.5 1 2 4096 R\r\n# hdr\r\n0.75 1 3 4096 W\r\n").unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn stream_yields_file_order() {
+        let text = "5.0 1 2 4096 R\n1.0 1 3 4096 R\n";
+        let streamed: Vec<_> = SrtStream::new(text.as_bytes(), ParsePolicy::Strict)
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(streamed[0].at, SimTime::from_secs(5));
+        // The batch parser re-sorts the same input.
+        assert_eq!(parse(text).unwrap().records()[0].at, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn lenient_skips_and_counts() {
+        let text = "0.5 1 2 4096 R\nnope\n0.7 1 2 4096 Z\n0.9 1 2 4096 W\n";
+        let mut s = SrtStream::new(text.as_bytes(), ParsePolicy::Lenient);
+        let recs: Vec<_> = (&mut s).map(|r| r.unwrap()).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(s.skipped(), 2);
+    }
+
+    #[test]
+    fn io_failures_surface_as_io_errors() {
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("cable unplugged"))
+            }
+        }
+        let reader = std::io::BufReader::new(FailingReader);
+        let e = SrtStream::new(reader, ParsePolicy::Strict)
+            .next()
+            .unwrap()
+            .unwrap_err();
+        assert!(matches!(e.kind, SrtErrorKind::Io(_)));
     }
 }

@@ -1,13 +1,20 @@
 //! Trace statistics: the quantities used to verify that the synthetic
 //! generators match the properties the paper's traces are known for
 //! (burstiness, popularity skew, scale).
+//!
+//! Two entry points: [`TraceStats::compute`] over a materialized
+//! [`Trace`] (the batch oracle) and [`TraceStats::from_stream`], a
+//! one-pass accumulator over any record stream whose memory footprint is
+//! bounded by the number of *distinct* items and seconds, not by the
+//! record count. Differential tests pin the two to identical output.
 
 use spindown_sim::stats::OnlineStats;
+use spindown_sim::time::SimTime;
 
-use crate::record::Trace;
+use crate::record::{Trace, TraceRecord};
 
 /// Summary statistics of a trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceStats {
     /// Number of requests.
     pub requests: usize,
@@ -83,39 +90,8 @@ impl TraceStats {
         let mut counts: Vec<u64> = freq.into_values().collect();
         counts.sort_unstable_by(|a, b| b.cmp(a));
 
-        let top1pct_share = if !counts.is_empty() && requests > 0 {
-            let k = (counts.len() as f64 * 0.01).ceil() as usize;
-            let top: u64 = counts.iter().take(k.max(1)).sum();
-            top as f64 / requests as f64
-        } else {
-            0.0
-        };
-
-        // Fit log(freq) = -z log(rank) + c by least squares over all ranks
-        // with freq >= 2 (singletons flatten the tail artificially).
-        let fitted_zipf_z = {
-            let pts: Vec<(f64, f64)> = counts
-                .iter()
-                .enumerate()
-                .filter(|&(_, &c)| c >= 2)
-                .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
-                .collect();
-            if pts.len() < 3 {
-                0.0
-            } else {
-                let n = pts.len() as f64;
-                let sx: f64 = pts.iter().map(|p| p.0).sum();
-                let sy: f64 = pts.iter().map(|p| p.1).sum();
-                let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
-                let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
-                let denom = n * sxx - sx * sx;
-                if denom.abs() < 1e-12 {
-                    0.0
-                } else {
-                    -((n * sxy - sx * sy) / denom)
-                }
-            }
-        };
+        let top1pct_share = top_share(&counts, requests);
+        let fitted_zipf_z = fit_zipf(&counts);
 
         TraceStats {
             requests,
@@ -128,6 +104,127 @@ impl TraceStats {
             top1pct_share,
             fitted_zipf_z,
         }
+    }
+
+    /// Computes the same statistics in one pass over a record stream,
+    /// without materializing it. Memory is bounded by the number of
+    /// distinct data items plus the trace span in seconds.
+    ///
+    /// Requires the stream's nondecreasing-time invariant (wrap untrusted
+    /// input in [`crate::stream::EnsureSorted`]); the batch
+    /// [`TraceStats::compute`] is the differential oracle.
+    pub fn from_stream<E>(
+        stream: impl Iterator<Item = Result<TraceRecord, E>>,
+    ) -> Result<TraceStats, E> {
+        let mut requests = 0usize;
+        let mut first: Option<SimTime> = None;
+        let mut last = SimTime::ZERO;
+        let mut prev: Option<SimTime> = None;
+        let mut gaps = OnlineStats::new();
+        // Per-second arrival counts; indices are seconds since the first
+        // record, so the vec grows with the trace *span*, not its length.
+        let mut counts_1s: Vec<f64> = Vec::new();
+        let mut freq: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+
+        for r in stream {
+            let r = r?;
+            requests += 1;
+            let start = *first.get_or_insert(r.at);
+            last = r.at;
+            if let Some(p) = prev {
+                gaps.push(r.at.as_secs_f64() - p.as_secs_f64());
+            }
+            prev = Some(r.at);
+            let idx = r.at.saturating_since(start).as_secs_f64() as usize;
+            if idx >= counts_1s.len() {
+                counts_1s.resize(idx + 1, 0.0);
+            }
+            counts_1s[idx] += 1.0;
+            *freq.entry(r.data.0).or_insert(0) += 1;
+        }
+
+        let duration_s = first
+            .map(|f| last.saturating_since(f).as_secs_f64())
+            .unwrap_or(0.0);
+        let mean_rate = if duration_s > 0.0 {
+            requests as f64 / duration_s
+        } else {
+            0.0
+        };
+
+        // Mirror the batch clamp `idx.min(windows - 1)`: a record exactly
+        // at an integral duration lands one past the last window.
+        let dispersion_1s = if duration_s >= 2.0 {
+            let windows = duration_s.ceil() as usize;
+            counts_1s.resize(windows.max(counts_1s.len()), 0.0);
+            while counts_1s.len() > windows {
+                let extra = counts_1s.pop().expect("len > windows >= 1");
+                counts_1s[windows - 1] += extra;
+            }
+            let mut cs = OnlineStats::new();
+            for c in counts_1s {
+                cs.push(c);
+            }
+            if cs.mean() > 0.0 {
+                cs.population_variance() / cs.mean()
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+
+        let unique_data = freq.len();
+        let mut counts: Vec<u64> = freq.into_values().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+
+        Ok(TraceStats {
+            requests,
+            unique_data,
+            duration_s,
+            mean_rate,
+            interarrival_mean_s: gaps.mean(),
+            interarrival_cv: gaps.cv(),
+            dispersion_1s,
+            top1pct_share: top_share(&counts, requests),
+            fitted_zipf_z: fit_zipf(&counts),
+        })
+    }
+}
+
+/// Fraction of accesses landing on the most popular 1 % of items
+/// (`counts` descending).
+fn top_share(counts: &[u64], requests: usize) -> f64 {
+    if counts.is_empty() || requests == 0 {
+        return 0.0;
+    }
+    let k = (counts.len() as f64 * 0.01).ceil() as usize;
+    let top: u64 = counts.iter().take(k.max(1)).sum();
+    top as f64 / requests as f64
+}
+
+/// Fits log(freq) = -z log(rank) + c by least squares over all ranks
+/// with freq >= 2 (singletons flatten the tail artificially).
+fn fit_zipf(counts: &[u64]) -> f64 {
+    let pts: Vec<(f64, f64)> = counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c >= 2)
+        .map(|(i, &c)| (((i + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    if pts.len() < 3 {
+        return 0.0;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        0.0
+    } else {
+        -((n * sxy - sx * sy) / denom)
     }
 }
 
@@ -246,6 +343,29 @@ mod tests {
             ss.top1pct_share,
             su.top1pct_share
         );
+    }
+
+    #[test]
+    fn one_pass_stream_matches_batch_oracle() {
+        let traces = [
+            Trace::default(),
+            FinancialLike {
+                requests: 5_000,
+                data_items: 800,
+                ..FinancialLike::default()
+            }
+            .generate(3),
+            CelloLike {
+                requests: 5_000,
+                data_items: 800,
+                ..CelloLike::default()
+            }
+            .generate(4),
+        ];
+        for t in &traces {
+            let one_pass = TraceStats::from_stream(t.stream()).unwrap();
+            assert_eq!(one_pass, TraceStats::compute(t));
+        }
     }
 
     #[test]

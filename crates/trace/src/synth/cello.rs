@@ -65,6 +65,56 @@ impl Default for CelloLike {
     }
 }
 
+impl CelloLike {
+    /// Lazy equivalent of [`TraceGenerator::generate`]: yields the same
+    /// records in the same (time-sorted) order without materializing a
+    /// [`Trace`]. Memory is O(data_items + sources); see
+    /// [`OnOffProcess::stream`] for how the arrival draws are replayed
+    /// bit-identically.
+    pub fn stream(&self, seed: u64) -> CelloStream {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xCE110);
+        let pop = ZipfPopularity::new(self.data_items, self.popularity_z, &mut rng)
+            .expect("valid popularity parameters");
+        let arrivals = self.arrivals.stream(&mut rng, self.requests);
+        CelloStream {
+            arrivals,
+            rng,
+            pop,
+            block_size: self.block_size,
+            write_fraction: self.write_fraction,
+        }
+    }
+}
+
+/// Lazy record stream for [`CelloLike`] — see [`CelloLike::stream`].
+/// Differential tests pin it bit-identical to the batch generator.
+#[derive(Debug)]
+pub struct CelloStream {
+    arrivals: crate::synth::arrivals::OnOffStream,
+    rng: SimRng,
+    pop: ZipfPopularity,
+    block_size: u64,
+    write_fraction: f64,
+}
+
+impl Iterator for CelloStream {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let at = self.arrivals.next()?;
+        Some(TraceRecord {
+            at,
+            data: self.pop.sample(&mut self.rng),
+            size: self.block_size,
+            op: if self.rng.chance(self.write_fraction) {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            },
+        })
+    }
+}
+
 impl TraceGenerator for CelloLike {
     fn generate(&self, seed: u64) -> Trace {
         let mut rng = SimRng::seed_from_u64(seed ^ 0xCE110);
@@ -159,5 +209,21 @@ mod tests {
         assert_eq!(g.requests, 70_000);
         assert_eq!(g.data_items, 30_000);
         assert_eq!(g.name(), "cello-like");
+    }
+
+    /// The lazy stream is bit-identical to the batch oracle (arrival
+    /// times via the k-way source merge AND the interleaved
+    /// popularity/op draws).
+    #[test]
+    fn stream_matches_generate() {
+        for (seed, wf) in [(7u64, 0.0), (12, 0.25)] {
+            let gen = CelloLike {
+                write_fraction: wf,
+                ..small()
+            };
+            let batch = gen.generate(seed);
+            let streamed: Vec<TraceRecord> = gen.stream(seed).collect();
+            assert_eq!(streamed, batch.records());
+        }
     }
 }

@@ -55,6 +55,82 @@ impl Default for FinancialLike {
     }
 }
 
+impl FinancialLike {
+    /// Lazy equivalent of [`TraceGenerator::generate`]: yields the same
+    /// records in the same (time-sorted) order without materializing a
+    /// [`Trace`], in O(data_items) memory.
+    ///
+    /// `generate` draws all `n` Poisson inter-arrivals *before* the
+    /// per-record popularity/op draws; to replay the identical rng
+    /// sequence lazily, the arrival draws come from a clone of the rng
+    /// and the body rng is fast-forwarded past them at construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive.
+    pub fn stream(&self, seed: u64) -> FinancialStream {
+        assert!(self.rate > 0.0, "arrival rate must be positive");
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xF17A);
+        let pop = ZipfPopularity::new(self.data_items, self.popularity_z, &mut rng)
+            .expect("valid popularity parameters");
+        let arrival_rng = rng.clone();
+        for _ in 0..self.requests {
+            rng.next_u64();
+        }
+        FinancialStream {
+            arrival_rng,
+            rng,
+            pop,
+            t: 0.0,
+            rate: self.rate,
+            block_size: self.block_size,
+            write_fraction: self.write_fraction,
+            remaining: self.requests,
+        }
+    }
+}
+
+/// Lazy record stream for [`FinancialLike`] — see
+/// [`FinancialLike::stream`]. Differential tests pin it bit-identical to
+/// the batch generator.
+#[derive(Debug)]
+pub struct FinancialStream {
+    arrival_rng: SimRng,
+    rng: SimRng,
+    pop: ZipfPopularity,
+    t: f64,
+    rate: f64,
+    block_size: u64,
+    write_fraction: f64,
+    remaining: usize,
+}
+
+impl Iterator for FinancialStream {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.t += self.arrival_rng.exponential(self.rate);
+        Some(TraceRecord {
+            at: spindown_sim::time::SimTime::from_secs_f64(self.t),
+            data: self.pop.sample(&mut self.rng),
+            size: self.block_size,
+            op: if self.rng.chance(self.write_fraction) {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            },
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
 impl TraceGenerator for FinancialLike {
     fn generate(&self, seed: u64) -> Trace {
         let mut rng = SimRng::seed_from_u64(seed ^ 0xF17A);
@@ -156,5 +232,20 @@ mod tests {
         assert_eq!(g.requests, 70_000);
         assert_eq!(g.data_items, 30_000);
         assert_eq!(g.name(), "financial-like");
+    }
+
+    /// The lazy stream is bit-identical to the batch oracle, including
+    /// with writes in play (each record costs one extra `chance` draw).
+    #[test]
+    fn stream_matches_generate() {
+        for (seed, wf) in [(4u64, 0.0), (9, 0.3)] {
+            let gen = FinancialLike {
+                write_fraction: wf,
+                ..small()
+            };
+            let batch = gen.generate(seed);
+            let streamed: Vec<TraceRecord> = gen.stream(seed).collect();
+            assert_eq!(streamed, batch.records());
+        }
     }
 }

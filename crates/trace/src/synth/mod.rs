@@ -33,5 +33,5 @@ pub trait TraceGenerator {
     fn name(&self) -> &'static str;
 }
 
-pub use cello::CelloLike;
-pub use financial::FinancialLike;
+pub use cello::{CelloLike, CelloStream};
+pub use financial::{FinancialLike, FinancialStream};

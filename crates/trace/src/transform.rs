@@ -2,47 +2,46 @@
 //! the pre-processing toolbox for running real traces through the
 //! experiment harness (e.g. extracting a busy hour of Cello, or slowing a
 //! trace down to stress the power manager).
+//!
+//! Each batch function here is a thin materializing wrapper over the
+//! corresponding lazy adapter in [`crate::stream`]
+//! ([`crate::stream::MergeStream`], [`crate::stream::WindowStream`],
+//! [`crate::stream::RescaleStream`]) — compose the adapters directly to
+//! transform traces too large to hold in memory.
 
-use spindown_sim::time::{SimDuration, SimTime};
+use spindown_sim::time::SimTime;
 
-use crate::record::{Trace, TraceRecord};
+use crate::record::Trace;
+use crate::stream::{collect_trace, MergeStream, RescaleStream, WindowStream};
 
-/// Merges multiple traces into one time-sorted stream. Data-id spaces are
-/// kept distinct by offsetting each input's ids by the running maximum
-/// (`disjoint_data = true`), or merged as-is (`false` — same ids refer to
-/// the same blocks).
+/// Merges multiple traces into one time-sorted stream (a k-way heap
+/// merge under the hood). Data-id spaces are kept distinct by offsetting
+/// each input's ids by the running maximum (`disjoint_data = true`), or
+/// merged as-is (`false` — same ids refer to the same blocks).
 pub fn merge(traces: &[&Trace], disjoint_data: bool) -> Trace {
-    let mut records: Vec<TraceRecord> = Vec::new();
     let mut offset: u64 = 0;
-    for t in traces {
-        let span = t.data_space();
-        for r in t.records() {
-            let mut r = *r;
+    let streams: Vec<_> = traces
+        .iter()
+        .map(|t| {
+            let shift = if disjoint_data { offset } else { 0 };
             if disjoint_data {
-                r.data.0 += offset;
+                offset += t.data_space();
             }
-            records.push(r);
-        }
-        if disjoint_data {
-            offset += span;
-        }
-    }
-    Trace::from_records(records)
+            t.stream().map(move |r| {
+                r.map(|mut rec| {
+                    rec.data.0 += shift;
+                    rec
+                })
+            })
+        })
+        .collect();
+    collect_trace(MergeStream::new(streams)).expect("in-memory streams cannot fail")
 }
 
 /// Keeps only the records in `[from, to)`, rebased to start at zero.
 pub fn window(trace: &Trace, from: SimTime, to: SimTime) -> Trace {
-    Trace::from_records(
-        trace
-            .records()
-            .iter()
-            .filter(|r| r.at >= from && r.at < to)
-            .map(|r| TraceRecord {
-                at: SimTime::ZERO + r.at.saturating_since(from),
-                ..*r
-            })
-            .collect(),
-    )
+    collect_trace(WindowStream::new(trace.stream(), from, to))
+        .expect("in-memory streams cannot fail")
 }
 
 /// Rescales all inter-arrival times by `factor` (> 1 stretches the trace
@@ -53,32 +52,15 @@ pub fn window(trace: &Trace, from: SimTime, to: SimTime) -> Trace {
 ///
 /// Panics if `factor` is not strictly positive and finite.
 pub fn rescale_time(trace: &Trace, factor: f64) -> Trace {
-    assert!(
-        factor.is_finite() && factor > 0.0,
-        "rescale factor must be positive"
-    );
-    let Some(start) = trace.start() else {
-        return Trace::default();
-    };
-    Trace::from_records(
-        trace
-            .records()
-            .iter()
-            .map(|r| TraceRecord {
-                at: start
-                    + SimDuration::from_secs_f64(
-                        r.at.saturating_since(start).as_secs_f64() * factor,
-                    ),
-                ..*r
-            })
-            .collect(),
-    )
+    collect_trace(RescaleStream::new(trace.stream(), factor))
+        .expect("in-memory streams cannot fail")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{DataId, OpKind};
+    use crate::record::{DataId, OpKind, TraceRecord};
+    use spindown_sim::time::SimDuration;
 
     fn rec(at_s: f64, data: u64) -> TraceRecord {
         TraceRecord {
