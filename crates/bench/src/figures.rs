@@ -243,7 +243,7 @@ pub fn fig4() -> String {
     let placement = paper_example::placement();
     let planner = MwisPlanner {
         params: paper_example::params(),
-        solver: MwisSolver::Exact { node_limit: 64 },
+        solver: MwisSolver::exact_default(),
         max_successors: 8,
     };
     let cg = planner.build_graph(&reqs, &placement);

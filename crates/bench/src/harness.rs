@@ -26,6 +26,8 @@ use spindown_core::sched::{MwisPlanner, MwisSolver};
 use spindown_core::system::{run_system_streamed, SystemConfig};
 use spindown_disk::power::PowerParams;
 use spindown_graph::mwis as solvers;
+use spindown_graph::setcover::SetCoverInstance;
+use spindown_sim::rng::SimRng;
 use spindown_sim::time::SimTime;
 use spindown_trace::spc::{self, SpcStream};
 use spindown_trace::synth::TraceGenerator;
@@ -254,6 +256,26 @@ impl GraphFixture {
             planner,
         }
     }
+}
+
+/// A seeded exact-set-cover fixture: one continuous-weight singleton per
+/// element (guaranteed coverable, continuous weights keep the optimum
+/// unique) plus `2 × universe` random multi-element sets — the same
+/// generator shape as the solver's differential suite.
+fn cover_fixture(universe: usize, seed: u64) -> SetCoverInstance {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x5e7c0f);
+    let mut inst = SetCoverInstance::new(universe);
+    for e in 0..universe {
+        inst.add_set(0.5 + rng.next_f64() * 2.0, [e as u32]);
+    }
+    for _ in 0..2 * universe {
+        let w = 0.1 + rng.next_f64() * 8.0;
+        let elems: Vec<u32> = (0..1 + rng.index(universe))
+            .map(|_| rng.index(universe) as u32)
+            .collect();
+        inst.add_set(w, elems);
+    }
+    inst
 }
 
 /// The small graph-build / grid scale (matches the unit-test scale).
@@ -504,10 +526,16 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
         }
     }
 
-    // Exact branch-and-bound on a deliberately tiny graph: the solver is
-    // exponential, and already at ~200 nodes a single solve takes hours.
-    // 18 requests -> 60 nodes, tens of milliseconds.
-    if want("mwis_exact_small") {
+    // Exact branch-and-bound. The iterative bitset solver
+    // (`mwis_exact_small` / `mwis_exact_medium`) is gated against the
+    // retained recursive clone-per-branch oracle
+    // (`mwis_exact_baseline_small`); the derived `mwis_exact_speedup`
+    // ratio is the headline number for the rewrite. The medium fixture
+    // sits past the size the recursive solver could comfortably carry.
+    if ["mwis_exact_small", "mwis_exact_baseline_small"]
+        .iter()
+        .any(|n| want(n))
+    {
         let tiny = GraphFixture::new(
             Scale {
                 requests: 18,
@@ -520,10 +548,108 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
             config.seed,
         );
         let tiny_cg = tiny.planner.build_graph(&tiny.requests, &tiny.placement);
-        entries.push(BenchEntry {
-            name: "mwis_exact_small",
-            stats: time_ns(warmup, iters, || {
+        let mut iter_stats = None;
+        if want("mwis_exact_small") {
+            let stats = time_ns(warmup, iters, || {
                 black_box(solvers::exact(&tiny_cg.graph, usize::MAX));
+            });
+            entries.push(BenchEntry {
+                name: "mwis_exact_small",
+                stats,
+            });
+            iter_stats = Some(stats);
+        }
+        if want("mwis_exact_baseline_small") {
+            let stats = time_ns(warmup, iters, || {
+                black_box(solvers::baseline::exact(&tiny_cg.graph, usize::MAX));
+            });
+            entries.push(BenchEntry {
+                name: "mwis_exact_baseline_small",
+                stats,
+            });
+            if let Some(it) = iter_stats {
+                derived.push(DerivedEntry {
+                    name: "mwis_exact_speedup",
+                    value: stats.median_ns as f64 / it.median_ns as f64,
+                });
+            }
+        }
+    }
+    if want("mwis_exact_medium") {
+        let mid = GraphFixture::new(
+            Scale {
+                requests: 30,
+                data_items: 18,
+                disks: 4,
+                rate: 2.0,
+            },
+            2,
+            3,
+            config.seed,
+        );
+        let mid_cg = mid.planner.build_graph(&mid.requests, &mid.placement);
+        entries.push(BenchEntry {
+            name: "mwis_exact_medium",
+            stats: time_ns(warmup, iters, || {
+                black_box(solvers::exact(&mid_cg.graph, usize::MAX));
+            }),
+        });
+    }
+
+    // Exact weighted set cover, same shape: iterative vs recursive
+    // baseline on seeded instances (one singleton per element for
+    // coverability plus random multi-sets), and medium instances the
+    // baseline is not asked to carry. A single solve is microseconds —
+    // far below timer jitter at the CI gate's 25% tolerance — so each
+    // timed iteration solves a whole batch of distinct instances.
+    if ["setcover_exact_small", "setcover_exact_baseline_small"]
+        .iter()
+        .any(|n| want(n))
+    {
+        let insts: Vec<_> = (0..256)
+            .map(|i| cover_fixture(14, config.seed.wrapping_add(i)))
+            .collect();
+        let mut iter_stats = None;
+        if want("setcover_exact_small") {
+            let stats = time_ns(warmup, iters, || {
+                for inst in &insts {
+                    black_box(inst.solve_exact(usize::MAX));
+                }
+            });
+            entries.push(BenchEntry {
+                name: "setcover_exact_small",
+                stats,
+            });
+            iter_stats = Some(stats);
+        }
+        if want("setcover_exact_baseline_small") {
+            let stats = time_ns(warmup, iters, || {
+                for inst in &insts {
+                    black_box(inst.solve_exact_baseline(usize::MAX));
+                }
+            });
+            entries.push(BenchEntry {
+                name: "setcover_exact_baseline_small",
+                stats,
+            });
+            if let Some(it) = iter_stats {
+                derived.push(DerivedEntry {
+                    name: "setcover_exact_speedup",
+                    value: stats.median_ns as f64 / it.median_ns as f64,
+                });
+            }
+        }
+    }
+    if want("setcover_exact_medium") {
+        let insts: Vec<_> = (0..256)
+            .map(|i| cover_fixture(22, config.seed.wrapping_add(i)))
+            .collect();
+        entries.push(BenchEntry {
+            name: "setcover_exact_medium",
+            stats: time_ns(warmup, iters, || {
+                for inst in &insts {
+                    black_box(inst.solve_exact(usize::MAX));
+                }
             }),
         });
     }
@@ -754,16 +880,44 @@ mod tests {
         assert!(report.derived.is_empty());
 
         // A narrow filter runs exactly its match; no derived ratios
-        // without their counterparts.
+        // without their counterparts (the baseline alone must not emit
+        // `mwis_exact_speedup`).
         let report = run_benches(&BenchConfig {
             warmup: 0,
             iters: 1,
-            filter: Some("mwis_exact".into()),
+            filter: Some("mwis_exact_baseline_small".into()),
             ..BenchConfig::default()
         });
         let names: Vec<&str> = report.entries.iter().map(|e| e.name).collect();
-        assert_eq!(names, vec!["mwis_exact_small"]);
+        assert_eq!(names, vec!["mwis_exact_baseline_small"]);
         assert!(report.derived.is_empty());
+    }
+
+    #[test]
+    fn exact_benches_emit_speedup_ratios() {
+        let report = run_benches(&BenchConfig {
+            warmup: 0,
+            iters: 1,
+            filter: Some("exact_".into()),
+            ..BenchConfig::default()
+        });
+        let names: Vec<&str> = report.entries.iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "mwis_exact_small",
+                "mwis_exact_baseline_small",
+                "mwis_exact_medium",
+                "setcover_exact_small",
+                "setcover_exact_baseline_small",
+                "setcover_exact_medium",
+            ]
+        );
+        let derived: Vec<&str> = report.derived.iter().map(|d| d.name).collect();
+        assert_eq!(
+            derived,
+            vec!["mwis_exact_speedup", "setcover_exact_speedup"]
+        );
     }
 
     #[test]

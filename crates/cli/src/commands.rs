@@ -25,7 +25,7 @@ use spindown_trace::record::{Trace, TraceRecord};
 use spindown_trace::spc::SpcStream;
 use spindown_trace::srt::SrtStream;
 use spindown_trace::stats::TraceStats;
-use spindown_trace::stream::{collect_trace, EnsureSorted};
+use spindown_trace::stream::{collect_trace, EnsureSorted, SkipCount};
 use spindown_trace::synth::arrivals::OnOffProcess;
 use spindown_trace::synth::{CelloLike, FinancialLike};
 use spindown_trace::{ParsePolicy, StreamError};
@@ -115,14 +115,20 @@ impl Iterator for RecordPass {
     }
 }
 
+impl SkipCount for RecordPass {
+    fn skipped_lines(&self) -> usize {
+        match self {
+            RecordPass::Spc(s) => s.skipped_lines(),
+            RecordPass::Srt(s) => s.skipped_lines(),
+            RecordPass::Synth(_) => 0,
+        }
+    }
+}
+
 impl RecordPass {
     /// Malformed lines skipped so far (lenient parsing only).
     fn skipped(&self) -> usize {
-        match self {
-            RecordPass::Spc(s) => s.skipped(),
-            RecordPass::Srt(s) => s.skipped(),
-            RecordPass::Synth(_) => 0,
-        }
+        self.skipped_lines()
     }
 }
 
@@ -513,6 +519,15 @@ mod tests {
         cli.command = Command::Stats;
         let report = execute(&cli).unwrap();
         assert!(report.contains("skipped lines       : 2"), "{report}");
+
+        // Compare materializes the trace and must carry the count into
+        // its report rather than dropping it at the adapter boundary.
+        cli.command = Command::Compare;
+        let report = execute(&cli).unwrap();
+        assert!(
+            report.contains("(skipped 2 malformed trace lines)"),
+            "{report}"
+        );
         std::fs::remove_file(path).ok();
     }
 

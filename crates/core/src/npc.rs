@@ -156,7 +156,7 @@ mod tests {
         let inst = build(&toy_graph());
         let planner = MwisPlanner {
             params: PowerParams::paper_example(),
-            solver: MwisSolver::Exact { node_limit: 64 },
+            solver: MwisSolver::exact_default(),
             max_successors: 16,
         };
         let cg = planner.build_graph(&inst.requests, &inst.placement);
@@ -175,7 +175,7 @@ mod tests {
         let params = PowerParams::paper_example();
         let planner = MwisPlanner {
             params: params.clone(),
-            solver: MwisSolver::Exact { node_limit: 64 },
+            solver: MwisSolver::exact_default(),
             max_successors: 16,
         };
         let (assignment, _) = planner.plan(&inst.requests, &inst.placement);

@@ -481,7 +481,7 @@ mod tests {
         let params = PowerParams::paper_example();
         let planner = MwisPlanner {
             params: params.clone(),
-            solver: MwisSolver::Exact { node_limit: 64 },
+            solver: MwisSolver::exact_default(),
             max_successors: 16,
         };
         let (assignment, _) = planner.plan(&reqs, &placement);

@@ -58,6 +58,17 @@ pub enum MwisSolver {
     },
 }
 
+impl MwisSolver {
+    /// Exact branch-and-bound at the solver library's default node budget
+    /// ([`solvers::DEFAULT_NODE_LIMIT`]) — raised from the old hardcoded
+    /// 64 now that the iterative bitset solver carries larger instances.
+    pub fn exact_default() -> Self {
+        MwisSolver::Exact {
+            node_limit: solvers::DEFAULT_NODE_LIMIT,
+        }
+    }
+}
+
 /// A constructed Step 1/2 graph plus the metadata to interpret its nodes,
 /// generic over the graph storage backend.
 ///
@@ -414,7 +425,7 @@ mod tests {
     #[test]
     fn fig4_step3_selection_and_saving() {
         let (reqs, placement) = paper_instance();
-        let p = planner(MwisSolver::Exact { node_limit: 64 });
+        let p = planner(MwisSolver::exact_default());
         let cg = p.build_graph(&reqs, &placement);
         let sel = p.solve(&cg);
         let weight: f64 = sel.iter().map(|&v| cg.graph.weight(v)).sum();
@@ -431,7 +442,7 @@ mod tests {
     #[test]
     fn fig4_step4_assignment_matches_schedule_c() {
         let (reqs, placement) = paper_instance();
-        let p = planner(MwisSolver::Exact { node_limit: 64 });
+        let p = planner(MwisSolver::exact_default());
         let (assignment, claimed) = p.plan(&reqs, &placement);
         assert_eq!(claimed, 11.0);
         // Any optimum attains schedule C's energy of 19 under the offline

@@ -11,7 +11,7 @@ use spindown_core::sched::{
 };
 use spindown_disk::power::PowerParams;
 use spindown_disk::state::DiskPowerState;
-use spindown_graph::setcover::{harmonic, SetCoverInstance};
+use spindown_graph::setcover::{harmonic, SetCoverInstance, DEFAULT_ELEMENT_LIMIT};
 use spindown_sim::rng::SimRng;
 use spindown_sim::time::{SimDuration, SimTime};
 
@@ -90,7 +90,7 @@ fn batch_cover_is_within_harmonic_of_optimal() {
         let now = SimTime::from_secs(100);
         let inst = cover_instance(&requests, &placement, &statuses, &params, now);
         let greedy = inst.solve_greedy().expect("coverable by construction");
-        let exact = inst.solve_exact(16).expect("coverable");
+        let exact = inst.solve_exact(DEFAULT_ELEMENT_LIMIT).expect("coverable");
         assert!(inst.is_cover(&greedy.sets));
         assert!(exact.weight <= greedy.weight + 1e-9);
         assert!(

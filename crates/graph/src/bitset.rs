@@ -1,0 +1,146 @@
+//! Word-packed `u64` bitset primitives shared by the exact solvers.
+//!
+//! Both branch-and-bound oracles ([`crate::mwis::exact`] and
+//! [`crate::setcover::SetCoverInstance::solve_exact`]) keep their search
+//! state as flat `&[u64]` word slices: an alive/covered set of `words_for(n)`
+//! words, a row-major `n × words_for(n)` mask table (closed neighborhoods,
+//! set element masks), and an undo arena with one `words_for(n)`-word slot
+//! per search depth. Everything here operates on plain slices so the solvers
+//! can carve rows and slots out of single allocations without lifetimes or
+//! wrapper types getting in the way.
+
+/// Number of `u64` words needed to hold `bits` bits.
+#[inline]
+pub fn words_for(bits: usize) -> usize {
+    bits.div_ceil(64)
+}
+
+/// Sets bit `i`.
+#[inline]
+pub fn set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+/// Clears bit `i`.
+#[inline]
+pub fn clear(words: &mut [u64], i: usize) {
+    words[i / 64] &= !(1u64 << (i % 64));
+}
+
+/// Tests bit `i`.
+#[inline]
+pub fn test(words: &[u64], i: usize) -> bool {
+    (words[i / 64] >> (i % 64)) & 1 == 1
+}
+
+/// Number of set bits.
+#[inline]
+pub fn count(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// Number of set bits in `a & b` without materializing the intersection.
+#[inline]
+pub fn intersection_count(a: &[u64], b: &[u64]) -> usize {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// Index of the lowest set bit, if any.
+#[inline]
+pub fn first_set(words: &[u64]) -> Option<usize> {
+    words
+        .iter()
+        .position(|&w| w != 0)
+        .map(|i| i * 64 + words[i].trailing_zeros() as usize)
+}
+
+/// Iterates the indices of set bits in ascending order.
+pub fn ones(words: &[u64]) -> Ones<'_> {
+    Ones {
+        words,
+        idx: 0,
+        cur: words.first().copied().unwrap_or(0),
+    }
+}
+
+/// Iterator over set-bit indices, lowest first (see [`ones`]).
+pub struct Ones<'a> {
+    words: &'a [u64],
+    idx: usize,
+    cur: u64,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.cur == 0 {
+            self.idx += 1;
+            if self.idx >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.idx];
+        }
+        let bit = self.cur.trailing_zeros() as usize;
+        self.cur &= self.cur - 1; // drop the lowest set bit
+        Some(self.idx * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
+    }
+
+    #[test]
+    fn set_clear_test_roundtrip() {
+        let mut ws = vec![0u64; 2];
+        for i in [0usize, 1, 63, 64, 90, 127] {
+            assert!(!test(&ws, i));
+            set(&mut ws, i);
+            assert!(test(&ws, i));
+        }
+        assert_eq!(count(&ws), 6);
+        clear(&mut ws, 64);
+        assert!(!test(&ws, 64));
+        assert_eq!(count(&ws), 5);
+    }
+
+    #[test]
+    fn ones_crosses_word_boundaries() {
+        let mut ws = vec![0u64; 3];
+        let bits = [3usize, 63, 64, 100, 128, 191];
+        for &b in &bits {
+            set(&mut ws, b);
+        }
+        assert_eq!(ones(&ws).collect::<Vec<_>>(), bits);
+        assert_eq!(first_set(&ws), Some(3));
+    }
+
+    #[test]
+    fn empty_and_zero_sets() {
+        assert_eq!(ones(&[]).next(), None);
+        assert_eq!(first_set(&[]), None);
+        assert_eq!(first_set(&[0, 0]), None);
+        assert_eq!(count(&[]), 0);
+    }
+
+    #[test]
+    fn intersection_count_matches_manual() {
+        let a = [0b1011u64, u64::MAX];
+        let b = [0b0110u64, 1u64 << 63];
+        assert_eq!(intersection_count(&a, &b), 1 + 1);
+    }
+}

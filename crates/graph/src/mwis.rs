@@ -33,10 +33,18 @@
 //! All solvers return node lists sorted ascending, so results are
 //! deterministic and directly comparable.
 
+use crate::bitset;
 use crate::graph::{GraphView, NodeId};
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Default node budget for [`exact`] when callers have no tighter
+/// requirement — offline ablations and NPC harnesses fall back to GWMIN
+/// above this. The iterative bitset solver raised this from the historical
+/// 64 (where the recursive solver's per-branch `Vec<bool>` clones and `n`
+/// stack frames became prohibitive) to 128.
+pub const DEFAULT_NODE_LIMIT: usize = 128;
 
 /// GWMIN greedy of Sakai et al.: repeatedly select the alive vertex
 /// maximizing `w(v) / (deg(v)+1)` (degree in the *remaining* graph), add it
@@ -230,8 +238,9 @@ fn greedy_by<G: GraphView + ?Sized>(
     result
 }
 
-/// The eager reference engine: identical selection to the production
-/// greedies, kept as differential oracle and benchmark baseline.
+/// The reference engines kept as differential oracles and benchmark
+/// baselines: the eager-heap greedies (identical selection to the
+/// production cascades) and the recursive clone-per-branch exact solver.
 pub mod baseline {
     use super::*;
 
@@ -294,6 +303,106 @@ pub mod baseline {
         }
         result.sort_unstable();
         result
+    }
+
+    /// The pre-bitset exact solver: recursive branch-and-bound that clones
+    /// a `Vec<bool>` alive bitmap per branch and bounds with the plain
+    /// positive-weight sum. Kept verbatim as the differential oracle for
+    /// [`super::exact`] — it recurses one stack frame per branch vertex,
+    /// so keep it away from instances anywhere near the production
+    /// [`DEFAULT_NODE_LIMIT`](super::DEFAULT_NODE_LIMIT).
+    pub fn exact<G: GraphView + ?Sized>(g: &G, node_limit: usize) -> Option<Vec<NodeId>> {
+        if g.len() > node_limit {
+            return None;
+        }
+        let n = g.len();
+        let mut best: Vec<NodeId> = Vec::new();
+        let mut best_w = f64::NEG_INFINITY;
+        let mut current: Vec<NodeId> = Vec::new();
+        let alive: Vec<bool> = vec![true; n];
+
+        fn recurse<G: GraphView + ?Sized>(
+            g: &G,
+            alive: Vec<bool>,
+            current: &mut Vec<NodeId>,
+            cur_w: f64,
+            best: &mut Vec<NodeId>,
+            best_w: &mut f64,
+        ) {
+            // Remaining positive weight as an (admissible) upper bound.
+            let rem: f64 = alive
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a)
+                .map(|(v, _)| g.weight(v as NodeId).max(0.0))
+                .sum();
+            if cur_w + rem <= *best_w {
+                return;
+            }
+            // Pick the alive vertex of maximum alive-degree.
+            let pick = alive
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a)
+                .map(|(v, _)| {
+                    let d = g
+                        .neighbors(v as NodeId)
+                        .iter()
+                        .filter(|&&u| alive[u as usize])
+                        .count();
+                    (d, v)
+                })
+                .max();
+            let Some((deg, v)) = pick else {
+                if cur_w > *best_w {
+                    *best_w = cur_w;
+                    *best = current.clone();
+                }
+                return;
+            };
+            if deg == 0 {
+                // All remaining vertices are isolated: take every positive one.
+                let mut w = cur_w;
+                let mut taken = Vec::new();
+                for (u, &a) in alive.iter().enumerate() {
+                    if a && g.weight(u as NodeId) > 0.0 {
+                        w += g.weight(u as NodeId);
+                        taken.push(u as NodeId);
+                    }
+                }
+                if w > *best_w {
+                    *best_w = w;
+                    let mut sol = current.clone();
+                    sol.extend(taken);
+                    *best = sol;
+                }
+                return;
+            }
+            // Branch 1: include v.
+            let mut incl = alive.clone();
+            incl[v] = false;
+            for &u in g.neighbors(v as NodeId) {
+                incl[u as usize] = false;
+            }
+            current.push(v as NodeId);
+            recurse(
+                g,
+                incl,
+                current,
+                cur_w + g.weight(v as NodeId),
+                best,
+                best_w,
+            );
+            current.pop();
+            // Branch 2: exclude v.
+            let mut excl = alive;
+            excl[v] = false;
+            recurse(g, excl, current, cur_w, best, best_w);
+        }
+
+        recurse(g, alive, &mut current, 0.0, &mut best, &mut best_w);
+        best.sort_unstable();
+        Some(best)
     }
 }
 
@@ -390,105 +499,270 @@ pub fn local_search<G: GraphView + ?Sized>(g: &G, initial: &[NodeId]) -> Vec<Nod
     out
 }
 
-/// Exact MWIS by branch-and-bound. Intended for instances up to a few
-/// dozen nodes (tests, the paper's Fig. 4 example, optimality-gap
-/// ablations); returns `None` if `g` has more than `node_limit` nodes.
+/// Relative slack applied to the branch-and-bound pruning tests so a
+/// mathematically admissible bound can never discard the true optimum over
+/// a last-ulp summation-order difference: the MWIS upper bound is inflated
+/// by `(cur_w + ub) * EPS` before comparing against the incumbent (and the
+/// set-cover lower bound deflated likewise). The cost is exploring a
+/// measure-zero shell of extra nodes around the incumbent weight.
+pub(crate) const BOUND_SLACK: f64 = 1e-12;
+
+/// A suspended branching decision on the iterative solver's explicit
+/// stack. `stage` walks Include(0) → Exclude(1) → Done(2); the vertices
+/// removed by the currently applied stage live in the undo arena slot at
+/// this frame's depth, so backtracking is `alive |= slot` — no per-branch
+/// clone.
+struct ExactFrame {
+    v: u32,
+    saved_w: f64,
+    stage: u8,
+}
+
+/// What [`exact_eval_node`] decided about the current subproblem.
+enum NodeStep {
+    /// Subtree exhausted or pruned; backtrack.
+    Backtrack,
+    /// Branch on this vertex (its alive degree is ≥ 1).
+    Branch(u32),
+}
+
+/// Exact MWIS by iterative branch-and-bound over word-packed `u64`
+/// bitsets. The optimality oracle for tests, the paper's Fig. 4 instance
+/// and the optimality-gap ablations; returns `None` if `g` has more than
+/// `node_limit` nodes (callers fall back to the greedy —
+/// [`DEFAULT_NODE_LIMIT`] is the stock budget).
 ///
-/// Branching: pick the remaining vertex of maximum degree; either exclude
-/// it or include it (removing its closed neighborhood). Bound: current
-/// weight + total remaining weight must beat the incumbent.
+/// Layout: one `words = ⌈n/64⌉`-word alive set, a flat `n × words` table
+/// of closed neighborhoods `{v} ∪ N(v)`, and an undo arena with one
+/// `words`-word slot per search depth. Including the branch vertex stores
+/// `alive ∩ closed(v)` in the depth's slot and masks it out of `alive`;
+/// backtracking ORs the slot back — no clone, no recursion, bounded
+/// `O(n·words)` memory regardless of branching depth.
+///
+/// Bounds: the incumbent is seeded with the positive-weight part of the
+/// [`gwmin2`] solution instead of starting empty, and each node is pruned
+/// against a greedy clique-cover bound — partition the alive vertices into
+/// cliques by intersecting closed neighborhoods and sum each clique's
+/// maximum weight (an independent set takes at most one vertex per
+/// clique). Both strictly dominate the recursive baseline's
+/// sum-of-positive-weights bound; [`baseline::exact`] retains that solver
+/// as the differential oracle.
 pub fn exact<G: GraphView + ?Sized>(g: &G, node_limit: usize) -> Option<Vec<NodeId>> {
     if g.len() > node_limit {
         return None;
     }
     let n = g.len();
-    let mut best: Vec<NodeId> = Vec::new();
-    let mut best_w = f64::NEG_INFINITY;
-    let mut current: Vec<NodeId> = Vec::new();
-    let alive: Vec<bool> = vec![true; n];
+    let words = bitset::words_for(n);
 
-    fn recurse<G: GraphView + ?Sized>(
-        g: &G,
-        alive: Vec<bool>,
-        current: &mut Vec<NodeId>,
-        cur_w: f64,
-        best: &mut Vec<NodeId>,
-        best_w: &mut f64,
-    ) {
-        // Remaining positive weight as an (admissible) upper bound.
-        let rem: f64 = alive
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a)
-            .map(|(v, _)| g.weight(v as NodeId).max(0.0))
-            .sum();
-        if cur_w + rem <= *best_w {
-            return;
-        }
-        // Pick the alive vertex of maximum alive-degree.
-        let pick = alive
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a)
-            .map(|(v, _)| {
-                let d = g
-                    .neighbors(v as NodeId)
-                    .iter()
-                    .filter(|&&u| alive[u as usize])
-                    .count();
-                (d, v)
-            })
-            .max();
-        let Some((deg, v)) = pick else {
-            if cur_w > *best_w {
-                *best_w = cur_w;
-                *best = current.clone();
-            }
-            return;
-        };
-        if deg == 0 {
-            // All remaining vertices are isolated: take every positive one.
-            let mut w = cur_w;
-            let mut taken = Vec::new();
-            for (u, &a) in alive.iter().enumerate() {
-                if a && g.weight(u as NodeId) > 0.0 {
-                    w += g.weight(u as NodeId);
-                    taken.push(u as NodeId);
-                }
-            }
-            if w > *best_w {
-                *best_w = w;
-                let mut sol = current.clone();
-                sol.extend(taken);
-                *best = sol;
-            }
-            return;
-        }
-        // Branch 1: include v.
-        let mut incl = alive.clone();
-        incl[v] = false;
+    // Flat closed-neighborhood table: row v = {v} ∪ N(v).
+    let mut closed = vec![0u64; n * words];
+    let mut weights = vec![0.0f64; n];
+    for v in 0..n {
+        weights[v] = g.weight(v as NodeId);
+        let row = &mut closed[v * words..(v + 1) * words];
+        bitset::set(row, v);
         for &u in g.neighbors(v as NodeId) {
-            incl[u as usize] = false;
+            bitset::set(row, u as usize);
         }
-        current.push(v as NodeId);
-        recurse(
-            g,
-            incl,
-            current,
-            cur_w + g.weight(v as NodeId),
-            best,
-            best_w,
-        );
-        current.pop();
-        // Branch 2: exclude v.
-        let mut excl = alive;
-        excl[v] = false;
-        recurse(g, excl, current, cur_w, best, best_w);
     }
 
-    recurse(g, alive, &mut current, 0.0, &mut best, &mut best_w);
+    // Only strictly positive vertices can improve an independent set, so
+    // the search space is the positive-weight induced subgraph.
+    let mut alive = vec![0u64; words];
+    for (v, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            bitset::set(&mut alive, v);
+        }
+    }
+
+    // Seed the incumbent with the GWMIN2 solution (restricted to positive
+    // vertices) so early subtrees prune against a real set instead of -∞.
+    let mut best: Vec<NodeId> = gwmin2(g)
+        .into_iter()
+        .filter(|&v| weights[v as usize] > 0.0)
+        .collect();
+    let mut best_w: f64 = best.iter().map(|&v| weights[v as usize]).sum();
+
+    let mut stack: Vec<ExactFrame> = Vec::with_capacity(n);
+    let mut arena = vec![0u64; n * words]; // one undo slot per depth
+    let mut current: Vec<NodeId> = Vec::with_capacity(n);
+    let mut cur_w = 0.0f64;
+    let mut scratch_unassigned = vec![0u64; words];
+    let mut scratch_cand = vec![0u64; words];
+
+    let root = exact_eval_node(
+        &alive,
+        &closed,
+        &weights,
+        words,
+        cur_w,
+        &current,
+        &mut best,
+        &mut best_w,
+        &mut scratch_unassigned,
+        &mut scratch_cand,
+    );
+    if let NodeStep::Branch(v) = root {
+        stack.push(ExactFrame {
+            v,
+            saved_w: cur_w,
+            stage: 0,
+        });
+    }
+
+    while let Some(top) = stack.last() {
+        let depth = stack.len() - 1;
+        let (v, saved_w, stage) = (top.v as usize, top.saved_w, top.stage);
+        let slot_at = depth * words;
+        if stage > 0 {
+            // Undo the previously applied branch: everything it removed is
+            // recorded in this depth's slot.
+            for i in 0..words {
+                alive[i] |= arena[slot_at + i];
+            }
+            if stage == 1 {
+                current.pop();
+            }
+            // cur_w is rebuilt from saved_w by whichever branch applies
+            // next, so the undo leaves it alone.
+        }
+        if stage == 2 {
+            stack.pop();
+            continue;
+        }
+        if stage == 0 {
+            // Include v: drop its closed neighborhood from the alive set.
+            for i in 0..words {
+                let removed = alive[i] & closed[v * words + i];
+                arena[slot_at + i] = removed;
+                alive[i] &= !removed;
+            }
+            current.push(v as NodeId);
+            cur_w = saved_w + weights[v];
+        } else {
+            // Exclude v: drop just v.
+            arena[slot_at..slot_at + words].fill(0);
+            bitset::set(&mut arena[slot_at..slot_at + words], v);
+            bitset::clear(&mut alive, v);
+            cur_w = saved_w;
+        }
+        stack.last_mut().expect("frame just inspected").stage = stage + 1;
+        let step = exact_eval_node(
+            &alive,
+            &closed,
+            &weights,
+            words,
+            cur_w,
+            &current,
+            &mut best,
+            &mut best_w,
+            &mut scratch_unassigned,
+            &mut scratch_cand,
+        );
+        if let NodeStep::Branch(v2) = step {
+            stack.push(ExactFrame {
+                v: v2,
+                saved_w: cur_w,
+                stage: 0,
+            });
+        }
+    }
+
     best.sort_unstable();
     Some(best)
+}
+
+/// One node of the MWIS search: prune against the clique-cover bound,
+/// harvest leaf candidates (empty or edgeless remainders), or name the
+/// branch vertex (maximum alive degree, ties to the larger id — the
+/// recursive baseline's rule).
+#[allow(clippy::too_many_arguments)]
+fn exact_eval_node(
+    alive: &[u64],
+    closed: &[u64],
+    weights: &[f64],
+    words: usize,
+    cur_w: f64,
+    current: &[NodeId],
+    best: &mut Vec<NodeId>,
+    best_w: &mut f64,
+    scratch_unassigned: &mut [u64],
+    scratch_cand: &mut [u64],
+) -> NodeStep {
+    let ub = clique_cover_bound(alive, closed, weights, words, scratch_unassigned, scratch_cand);
+    // Inflate by the relative slack so summation-order rounding can never
+    // prune the float-achievable optimum (cur_w and ub are both ≥ 0 here).
+    if cur_w + ub + (cur_w + ub) * BOUND_SLACK <= *best_w {
+        return NodeStep::Backtrack;
+    }
+    let mut pick: Option<(usize, usize)> = None;
+    for v in bitset::ones(alive) {
+        let deg = bitset::intersection_count(alive, &closed[v * words..(v + 1) * words]) - 1;
+        if pick.is_none_or(|p| (deg, v) > p) {
+            pick = Some((deg, v));
+        }
+    }
+    let Some((deg, pick_v)) = pick else {
+        if cur_w > *best_w {
+            *best_w = cur_w;
+            best.clear();
+            best.extend_from_slice(current);
+        }
+        return NodeStep::Backtrack;
+    };
+    if deg == 0 {
+        // Edgeless remainder: take every alive vertex (all positive).
+        let mut w = cur_w;
+        for u in bitset::ones(alive) {
+            w += weights[u];
+        }
+        if w > *best_w {
+            *best_w = w;
+            best.clear();
+            best.extend_from_slice(current);
+            best.extend(bitset::ones(alive).map(|u| u as NodeId));
+        }
+        return NodeStep::Backtrack;
+    }
+    NodeStep::Branch(pick_v as u32)
+}
+
+/// Greedy clique-cover upper bound on the weight any independent set can
+/// collect from `alive`: partition the alive vertices into cliques (grow
+/// each from its lowest unassigned vertex, keeping candidates that are
+/// adjacent to every member via closed-neighborhood intersections) and sum
+/// the maximum weight per clique. Admissible because an independent set
+/// contains at most one vertex of each clique; equals the plain
+/// positive-weight sum only when every clique is a singleton.
+fn clique_cover_bound(
+    alive: &[u64],
+    closed: &[u64],
+    weights: &[f64],
+    words: usize,
+    unassigned: &mut [u64],
+    cand: &mut [u64],
+) -> f64 {
+    unassigned.copy_from_slice(alive);
+    let mut bound = 0.0f64;
+    while let Some(v) = bitset::first_set(unassigned) {
+        bitset::clear(unassigned, v);
+        let mut clique_max = weights[v];
+        for i in 0..words {
+            cand[i] = unassigned[i] & closed[v * words + i];
+        }
+        while let Some(u) = bitset::first_set(cand) {
+            bitset::clear(unassigned, u);
+            bitset::clear(cand, u);
+            if weights[u] > clique_max {
+                clique_max = weights[u];
+            }
+            for i in 0..words {
+                cand[i] &= closed[u * words + i];
+            }
+        }
+        bound += clique_max;
+    }
+    bound
 }
 
 #[cfg(test)]

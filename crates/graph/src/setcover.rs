@@ -8,6 +8,18 @@
 //! approximation the paper cites (§6); [`SetCoverInstance::solve_exact`]
 //! is the optimality oracle for tests and ablations.
 
+use crate::bitset;
+
+/// Relative tolerance under which two greedy cost-effectiveness ratios
+/// count as tied (see [`SetCoverInstance::solve_greedy`]).
+const RATIO_TIE_TOL: f64 = 1e-12;
+
+/// Default element budget for [`SetCoverInstance::solve_exact`] when
+/// callers have no tighter requirement. The iterative bitset solver raised
+/// this from the historical 64 (where the recursive solver's per-branch
+/// bookkeeping and `universe`-deep recursion became prohibitive) to 128.
+pub const DEFAULT_ELEMENT_LIMIT: usize = 128;
+
 /// One candidate set: a weight and the elements it covers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightedSet {
@@ -23,6 +35,7 @@ pub struct WeightedSet {
 pub struct SetCoverInstance {
     universe: usize,
     sets: Vec<WeightedSet>,
+    clamped: usize,
 }
 
 /// A solution: which sets were selected and their combined weight.
@@ -40,12 +53,16 @@ impl SetCoverInstance {
         SetCoverInstance {
             universe,
             sets: Vec::new(),
+            clamped: 0,
         }
     }
 
     /// Adds a candidate set; returns its index. Out-of-range elements and
-    /// duplicates within a set are dropped; negative weights are clamped to
-    /// zero.
+    /// duplicates within a set are dropped. A negative or non-finite
+    /// weight is a cost-function bug upstream — Eq. 5 marginal costs are
+    /// finite and non-negative by construction — so debug builds assert on
+    /// it; release builds clamp the weight to zero and count the event in
+    /// [`clamped_weights`](Self::clamped_weights).
     pub fn add_set(&mut self, weight: f64, elements: impl IntoIterator<Item = u32>) -> usize {
         let mut elems: Vec<u32> = elements
             .into_iter()
@@ -53,15 +70,28 @@ impl SetCoverInstance {
             .collect();
         elems.sort_unstable();
         elems.dedup();
+        let valid = weight.is_finite() && weight >= 0.0;
+        debug_assert!(
+            valid,
+            "add_set: invalid weight {weight} (Eq. 5 marginal costs are finite and non-negative)"
+        );
+        if !valid {
+            self.clamped += 1;
+        }
         self.sets.push(WeightedSet {
-            weight: if weight.is_finite() {
-                weight.max(0.0)
-            } else {
-                0.0
-            },
+            weight: if valid { weight } else { 0.0 },
             elements: elems,
         });
         self.sets.len() - 1
+    }
+
+    /// How many [`add_set`](Self::add_set) calls supplied a negative or
+    /// non-finite weight and had it clamped to zero. Always zero in a
+    /// healthy pipeline; a non-zero count in release builds flags the
+    /// upstream cost-function bug that `debug_assert!` would have caught
+    /// in a debug build.
+    pub fn clamped_weights(&self) -> usize {
+        self.clamped
     }
 
     /// Universe size.
@@ -133,8 +163,15 @@ impl SetCoverInstance {
                 let better = match best {
                     None => true,
                     Some((br, bn, bi)) => {
-                        ratio < br - 1e-15
-                            || ((ratio - br).abs() <= 1e-15 && (new > bn || (new == bn && i < bi)))
+                        // Relative tie tolerance: with Eq. 5 weights in the
+                        // joules range the cost-effectiveness ratios sit at
+                        // ~1e8, where one ulp is ~1e-8 — an absolute 1e-15
+                        // band never recognizes a tie there, so the
+                        // covers-more / lower-index preferences silently
+                        // stopped applying at scale.
+                        let tol = RATIO_TIE_TOL * ratio.abs().max(br.abs());
+                        ratio < br - tol
+                            || ((ratio - br).abs() <= tol && (new > bn || (new == bn && i < bi)))
                     }
                 };
                 if better {
@@ -158,11 +195,159 @@ impl SetCoverInstance {
         })
     }
 
-    /// Exact minimum-weight cover by branch-and-bound on the lowest-index
-    /// uncovered element. Exponential in the worst case — intended for
-    /// tests and small batches; returns `None` if the universe is not
-    /// coverable or exceeds `element_limit`.
+    /// Exact minimum-weight cover by iterative branch-and-bound on the
+    /// lowest-index uncovered element, over word-packed `u64` bitsets with
+    /// an explicit undo stack — no recursion, no per-branch clone.
+    /// Exponential in the worst case — intended for tests and small
+    /// batches; returns `None` if the universe is not coverable or exceeds
+    /// `element_limit` ([`DEFAULT_ELEMENT_LIMIT`] is the stock budget).
+    ///
+    /// Layout: one `words = ⌈universe/64⌉`-word covered set, a flat
+    /// `sets × words` table of element masks, and an undo arena with one
+    /// `words`-word slot per search depth holding the elements the applied
+    /// set newly covered; backtracking is `covered &= !slot`.
+    ///
+    /// Bounds: the incumbent is seeded with the greedy `H_n`-approximate
+    /// cover, and each node prunes against `w + max_e min_cover_w(e)` over
+    /// its uncovered elements — any completion must pay for a set covering
+    /// the most expensive-to-cover element. Both strictly dominate the
+    /// recursive baseline's bare `w >= best_w` test;
+    /// [`solve_exact_baseline`](Self::solve_exact_baseline) retains that
+    /// solver as the differential oracle.
     pub fn solve_exact(&self, element_limit: usize) -> Option<Cover> {
+        if self.universe > element_limit {
+            return None;
+        }
+        let words = bitset::words_for(self.universe);
+        // Element mask per set; per element, the sets covering it and the
+        // cheapest such set's weight.
+        let mut masks = vec![0u64; self.sets.len() * words];
+        let mut covering: Vec<Vec<u32>> = vec![Vec::new(); self.universe];
+        let mut min_cover_w = vec![f64::INFINITY; self.universe];
+        for (i, s) in self.sets.iter().enumerate() {
+            let row = &mut masks[i * words..(i + 1) * words];
+            for &e in &s.elements {
+                bitset::set(row, e as usize);
+                covering[e as usize].push(i as u32);
+                if s.weight < min_cover_w[e as usize] {
+                    min_cover_w[e as usize] = s.weight;
+                }
+            }
+        }
+        if covering.iter().any(|c| c.is_empty()) && self.universe > 0 {
+            return None;
+        }
+        // Seed the incumbent with the greedy cover so the search prunes
+        // against a real cover from the first node instead of +∞.
+        let seed = self.solve_greedy()?;
+        let mut best = seed.sets;
+        let mut best_w = seed.weight;
+
+        let mut full = vec![0u64; words];
+        for e in 0..self.universe {
+            bitset::set(&mut full, e);
+        }
+        // Evaluate the current node: record a new incumbent if everything
+        // is covered, prune against the lower bound, or return the next
+        // element to branch on.
+        let eval = |covered: &[u64],
+                    w: f64,
+                    chosen: &[usize],
+                    best: &mut Vec<usize>,
+                    best_w: &mut f64|
+         -> Option<u32> {
+            let mut elem: Option<u32> = None;
+            let mut lb = 0.0f64;
+            for i in 0..words {
+                let mut rem = full[i] & !covered[i];
+                if rem != 0 && elem.is_none() {
+                    elem = Some((i * 64 + rem.trailing_zeros() as usize) as u32);
+                }
+                while rem != 0 {
+                    let e = i * 64 + rem.trailing_zeros() as usize;
+                    rem &= rem - 1;
+                    if min_cover_w[e] > lb {
+                        lb = min_cover_w[e];
+                    }
+                }
+            }
+            let Some(e) = elem else {
+                if w < *best_w {
+                    *best_w = w;
+                    *best = chosen.to_vec();
+                }
+                return None;
+            };
+            // Deflate the admissible bound by the relative slack so
+            // summation-order rounding can never prune the optimum.
+            if w + lb - (w + lb) * crate::mwis::BOUND_SLACK >= *best_w {
+                return None;
+            }
+            Some(e)
+        };
+
+        let mut covered = vec![0u64; words];
+        let mut chosen: Vec<usize> = Vec::with_capacity(self.universe);
+        let mut stack: Vec<CoverFrame> = Vec::with_capacity(self.universe);
+        let mut arena = vec![0u64; self.universe * words];
+        let mut w = 0.0f64;
+
+        if let Some(e) = eval(&covered, w, &chosen, &mut best, &mut best_w) {
+            stack.push(CoverFrame {
+                elem: e,
+                cand_pos: 0,
+                saved_w: w,
+            });
+        }
+        while let Some(top) = stack.last() {
+            let depth = stack.len() - 1;
+            let (elem, cand_pos, saved_w) = (top.elem as usize, top.cand_pos, top.saved_w);
+            let slot_at = depth * words;
+            if cand_pos > 0 {
+                // Undo the previously applied candidate: exactly the
+                // elements it newly covered live in this depth's slot.
+                for i in 0..words {
+                    covered[i] &= !arena[slot_at + i];
+                }
+                chosen.pop();
+                // w is rebuilt from saved_w when the next candidate is
+                // applied, so the undo leaves it alone.
+            }
+            if cand_pos == covering[elem].len() {
+                stack.pop();
+                continue;
+            }
+            let s = covering[elem][cand_pos] as usize;
+            stack.last_mut().expect("frame just inspected").cand_pos = cand_pos + 1;
+            for i in 0..words {
+                let newly = masks[s * words + i] & !covered[i];
+                arena[slot_at + i] = newly;
+                covered[i] |= newly;
+            }
+            chosen.push(s);
+            w = saved_w + self.sets[s].weight;
+            if let Some(e2) = eval(&covered, w, &chosen, &mut best, &mut best_w) {
+                stack.push(CoverFrame {
+                    elem: e2,
+                    cand_pos: 0,
+                    saved_w: w,
+                });
+            }
+        }
+        best.sort_unstable();
+        Some(Cover {
+            weight: self.weight_of(&best),
+            sets: best,
+        })
+    }
+
+    /// The pre-bitset exact solver: recursive branch-and-bound with a
+    /// `Vec<bool>` covered bitmap and no lower bound beyond the incumbent.
+    /// Kept verbatim as the differential oracle for
+    /// [`solve_exact`](Self::solve_exact) — it recurses one stack frame
+    /// per chosen set, so keep it away from universes anywhere near the
+    /// production [`DEFAULT_ELEMENT_LIMIT`].
+    pub fn solve_exact_baseline(&self, element_limit: usize) -> Option<Cover> {
         if self.universe > element_limit {
             return None;
         }
@@ -233,6 +418,17 @@ impl SetCoverInstance {
             sets,
         })
     }
+}
+
+/// A suspended branching decision on [`SetCoverInstance::solve_exact`]'s
+/// explicit stack: which element is being covered, the next candidate set
+/// index into its covering list, and the weight on entry. The elements the
+/// currently applied candidate newly covered live in the undo arena slot
+/// at this frame's depth.
+struct CoverFrame {
+    elem: u32,
+    cand_pos: usize,
+    saved_w: f64,
 }
 
 /// The `n`-th harmonic number `H_n = 1 + 1/2 + … + 1/n` — the greedy
@@ -306,13 +502,89 @@ mod tests {
     }
 
     #[test]
-    fn add_set_sanitizes_input() {
+    fn add_set_sanitizes_elements() {
+        let mut inst = SetCoverInstance::new(3);
+        let idx = inst.add_set(5.0, [0, 0, 1, 99]);
+        assert_eq!(inst.sets()[idx].weight, 5.0);
+        assert_eq!(inst.sets()[idx].elements, vec![0, 1]);
+        assert_eq!(inst.clamped_weights(), 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn add_set_asserts_on_negative_weight_in_debug() {
+        let mut inst = SetCoverInstance::new(3);
+        inst.add_set(-5.0, [0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn add_set_asserts_on_nan_weight_in_debug() {
+        let mut inst = SetCoverInstance::new(3);
+        inst.add_set(f64::NAN, [0]);
+    }
+
+    // With debug assertions off (release builds — the CI differential job
+    // runs the graph tests both ways), invalid weights are clamped to zero
+    // and counted instead of panicking.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn add_set_clamps_and_counts_in_release() {
         let mut inst = SetCoverInstance::new(3);
         let idx = inst.add_set(-5.0, [0, 0, 1, 99]);
         assert_eq!(inst.sets()[idx].weight, 0.0);
         assert_eq!(inst.sets()[idx].elements, vec![0, 1]);
         let idx2 = inst.add_set(f64::NAN, [2]);
         assert_eq!(inst.sets()[idx2].weight, 0.0);
+        let idx3 = inst.add_set(f64::INFINITY, [2]);
+        assert_eq!(inst.sets()[idx3].weight, 0.0);
+        inst.add_set(1.0, [1]);
+        assert_eq!(inst.clamped_weights(), 3);
+    }
+
+    #[test]
+    fn greedy_tie_break_is_relative_for_joule_scale_weights() {
+        // Two sets whose cost-effectiveness ties at ~3.3e8 J/element: the
+        // ratios differ by one ulp (~6e-8), far beyond the historical
+        // absolute 1e-15 band, so the old comparison declared the
+        // one-ulp-cheaper singleton strictly better and the covers-more
+        // tie-break never fired — greedy paid for both sets. The relative
+        // tolerance recognizes the tie and takes the bigger set alone.
+        let r = 1.0e9_f64 / 3.0;
+        let r_down = f64::from_bits(r.to_bits() - 1);
+        let mut inst = SetCoverInstance::new(2);
+        inst.add_set(r_down, [0]); // ratio one ulp below r
+        inst.add_set(2.0 * r, [0, 1]); // ratio exactly r
+        let c = inst.solve_greedy().unwrap();
+        assert_eq!(c.sets, vec![1], "joule-scale tie: bigger set wins");
+        assert_eq!(c.weight, 2.0 * r);
+    }
+
+    #[test]
+    fn exact_matches_recursive_baseline_on_unit_tests() {
+        for inst in [
+            {
+                let mut i = SetCoverInstance::new(4);
+                i.add_set(3.1, [0, 1, 2, 3]);
+                i.add_set(1.0, [0, 1]);
+                i.add_set(1.0, [2, 3]);
+                i
+            },
+            {
+                let mut i = SetCoverInstance::new(6);
+                i.add_set(5.0, [0, 1, 2, 4]);
+                i.add_set(5.0, [1, 2]);
+                i.add_set(5.0, [3, 5]);
+                i.add_set(5.0, [2, 3, 4, 5]);
+                i
+            },
+        ] {
+            let new = inst.solve_exact(64).unwrap();
+            let old = inst.solve_exact_baseline(64).unwrap();
+            assert_eq!(new, old);
+        }
     }
 
     #[test]

@@ -35,5 +35,5 @@ pub mod transform;
 
 pub use record::{DataId, OpKind, Trace, TraceRecord};
 pub use stats::TraceStats;
-pub use stream::{ParsePolicy, RecordStream, StreamError};
+pub use stream::{ErasedStream, ParsePolicy, RecordStream, SkipCount, StreamError};
 pub use synth::{CelloLike, FinancialLike, TraceGenerator};

@@ -136,6 +136,12 @@ impl<R: BufRead> SpcStream<R> {
     }
 }
 
+impl<R> crate::stream::SkipCount for SpcStream<R> {
+    fn skipped_lines(&self) -> usize {
+        self.skipped
+    }
+}
+
 impl<R: BufRead> Iterator for SpcStream<R> {
     type Item = Result<TraceRecord, SpcParseError>;
 

@@ -157,6 +157,12 @@ impl<R: BufRead> SrtStream<R> {
     }
 }
 
+impl<R> crate::stream::SkipCount for SrtStream<R> {
+    fn skipped_lines(&self) -> usize {
+        self.skipped
+    }
+}
+
 impl<R: BufRead> Iterator for SrtStream<R> {
     type Item = Result<TraceRecord, SrtParseError>;
 

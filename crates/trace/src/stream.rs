@@ -126,12 +126,79 @@ pub fn collect_trace<E>(
     Ok(Trace::from_records(records?))
 }
 
+/// Access to the lenient-parse skip accounting from anywhere in an
+/// adapter chain.
+///
+/// The incremental parsers ([`crate::spc::SpcStream`],
+/// [`crate::srt::SrtStream`]) count the malformed lines they skip under
+/// [`ParsePolicy::Lenient`]; every adapter in this module propagates that
+/// count — wrappers delegate to their inner stream, [`MergeStream`] sums
+/// across its inputs — so a CLI report can read the total off the top of
+/// the chain instead of losing it at the first wrapper.
+pub trait SkipCount {
+    /// Malformed lines skipped so far by the underlying parser(s).
+    fn skipped_lines(&self) -> usize;
+}
+
+impl<S: SkipCount + ?Sized> SkipCount for &mut S {
+    fn skipped_lines(&self) -> usize {
+        (**self).skipped_lines()
+    }
+}
+
 /// Adapts a stream with a format-specific error type (e.g.
 /// [`crate::spc::SpcParseError`]) into a [`RecordStream`].
+///
+/// Unlike a closure `map`, the wrapped stream stays reachable through
+/// [`inner`](ErasedStream::inner) (and [`SkipCount`] delegates to it), so
+/// erasing a lenient parser's error type no longer discards its
+/// skipped-line counter.
+#[derive(Debug, Clone)]
+pub struct ErasedStream<S> {
+    inner: S,
+}
+
+impl<S> ErasedStream<S> {
+    /// Wraps `inner`.
+    pub fn new(inner: S) -> Self {
+        ErasedStream { inner }
+    }
+
+    /// The wrapped stream (e.g. to read a parser's skip counter back).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S, E> Iterator for ErasedStream<S>
+where
+    S: Iterator<Item = Result<TraceRecord, E>>,
+    E: Into<StreamError>,
+{
+    type Item = Result<TraceRecord, StreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|r| r.map_err(Into::into))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<S: SkipCount> SkipCount for ErasedStream<S> {
+    fn skipped_lines(&self) -> usize {
+        self.inner.skipped_lines()
+    }
+}
+
+/// Adapts a stream with a format-specific error type (e.g.
+/// [`crate::spc::SpcParseError`]) into a [`RecordStream`]. Equivalent to
+/// [`ErasedStream::new`]; kept as the conversational free function.
 pub fn erase<E: Into<StreamError>>(
     stream: impl Iterator<Item = Result<TraceRecord, E>>,
 ) -> impl RecordStream {
-    stream.map(|r| r.map_err(Into::into))
+    ErasedStream::new(stream)
 }
 
 /// Lifts an infallible record iterator (e.g. a synthetic generator
@@ -164,6 +231,12 @@ impl<S> EnsureSorted<S> {
     /// The wrapped stream (e.g. to read a parser's skip counter back).
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+}
+
+impl<S: SkipCount> SkipCount for EnsureSorted<S> {
+    fn skipped_lines(&self) -> usize {
+        self.inner.skipped_lines()
     }
 }
 
@@ -226,6 +299,11 @@ impl<S: RecordStream> MergeStream<S> {
         }
     }
 
+    /// The merged input streams (e.g. to read parser skip counters back).
+    pub fn streams(&self) -> &[S] {
+        &self.streams
+    }
+
     /// Pulls the next record of stream `i` into its head slot.
     fn pull(&mut self, i: usize) -> Result<(), StreamError> {
         match self.streams[i].next() {
@@ -237,6 +315,13 @@ impl<S: RecordStream> MergeStream<S> {
             Some(Err(e)) => Err(e),
             None => Ok(()),
         }
+    }
+}
+
+impl<S: SkipCount> SkipCount for MergeStream<S> {
+    fn skipped_lines(&self) -> usize {
+        // Summed, not dropped: each input parser counts its own lines.
+        self.streams.iter().map(SkipCount::skipped_lines).sum()
     }
 }
 
@@ -294,6 +379,17 @@ impl<S> WindowStream<S> {
             to,
             done: false,
         }
+    }
+
+    /// The wrapped stream (e.g. to read a parser's skip counter back).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: SkipCount> SkipCount for WindowStream<S> {
+    fn skipped_lines(&self) -> usize {
+        self.inner.skipped_lines()
     }
 }
 
@@ -359,6 +455,17 @@ impl<S> RescaleStream<S> {
             factor,
             anchor: None,
         }
+    }
+
+    /// The wrapped stream (e.g. to read a parser's skip counter back).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: SkipCount> SkipCount for RescaleStream<S> {
+    fn skipped_lines(&self) -> usize {
+        self.inner.skipped_lines()
     }
 }
 
@@ -489,5 +596,65 @@ mod tests {
         let recs = vec![rec(0.0, 0), rec(1.0, 1)];
         let n = infallible(recs.into_iter()).count();
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn skip_count_survives_window_rescale_chain() {
+        use crate::spc::SpcStream;
+        // Two malformed lines among three good records; the full adapter
+        // stack (erase → sort check → rescale → window) must still expose
+        // the parser's count.
+        let text = "0,1,4096,r,0.5\ngarbage\n0,2,4096,r,1.5\n1,2,three\n0,3,4096,r,2.5\n";
+        let parser = ErasedStream::new(SpcStream::new(text.as_bytes(), ParsePolicy::Lenient));
+        let mut chain = WindowStream::new(
+            RescaleStream::new(EnsureSorted::new(parser), 2.0),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+        );
+        let mut yielded = 0;
+        for r in chain.by_ref() {
+            r.unwrap();
+            yielded += 1;
+        }
+        assert_eq!(yielded, 3);
+        assert_eq!(chain.skipped_lines(), 2);
+        assert_eq!(chain.inner().inner().inner().inner().skipped(), 2);
+    }
+
+    #[test]
+    fn merge_sums_skip_counts_across_inputs() {
+        use crate::spc::SpcStream;
+        let a = "0,1,4096,r,0.5\nbad line\n0,2,4096,r,2.0\n"; // 1 skipped
+        let b = "junk\nmore junk\n0,3,4096,r,1.0\n"; // 2 skipped
+        let mut m = MergeStream::new(vec![
+            ErasedStream::new(SpcStream::new(a.as_bytes(), ParsePolicy::Lenient)),
+            ErasedStream::new(SpcStream::new(b.as_bytes(), ParsePolicy::Lenient)),
+        ]);
+        let times: Vec<f64> = m
+            .by_ref()
+            .map(|r| r.unwrap().at.as_secs_f64())
+            .collect();
+        assert_eq!(times, vec![0.5, 1.0, 2.0]);
+        assert_eq!(m.skipped_lines(), 3, "summed across inputs, not dropped");
+        assert_eq!(m.streams()[0].skipped_lines(), 1);
+        assert_eq!(m.streams()[1].skipped_lines(), 2);
+    }
+
+    #[test]
+    fn window_early_exit_still_reports_skips_seen_so_far() {
+        use crate::spc::SpcStream;
+        // The window stops pulling at t >= 2: the trailing malformed line
+        // is never reached, so only the one skip actually encountered is
+        // reported — the count reflects lines the parser consumed.
+        let text = "bad\n0,1,4096,r,0.5\n0,2,4096,r,5.0\nnever reached\n";
+        let parser = ErasedStream::new(SpcStream::new(text.as_bytes(), ParsePolicy::Lenient));
+        let mut w = WindowStream::new(parser, SimTime::ZERO, SimTime::from_secs(2));
+        let mut yielded = 0;
+        for r in w.by_ref() {
+            r.unwrap();
+            yielded += 1;
+        }
+        assert_eq!(yielded, 1);
+        assert_eq!(w.skipped_lines(), 1);
     }
 }
