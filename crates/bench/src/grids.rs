@@ -10,8 +10,7 @@ use spindown_core::metrics::RunMetrics;
 use spindown_core::model::Request;
 use spindown_core::placement::PlacementConfig;
 use spindown_core::system::SystemConfig;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use spindown_sim::pool;
 
 use crate::workload::Scale;
 
@@ -50,11 +49,13 @@ impl EvalGrid {
     ///
     /// Every cell is an independent simulation — each run derives its own
     /// RNG stream from the spec seed, never from shared mutable state —
-    /// so the cells are fanned out over a work queue and collected by
-    /// cell index. The grid is bit-identical to the serial (`jobs = 1`)
-    /// result for any thread count. `jobs` is clamped to
-    /// `1..=cell count`; the always-on reference runs on the calling
-    /// thread either way.
+    /// so the cells are fanned out over the shared worker pool
+    /// ([`spindown_sim::pool::map_indexed`]) and collected by cell index.
+    /// The grid is bit-identical to the serial (`jobs = 1`) result for
+    /// any thread count. `jobs` is clamped to `1..=cell count` (and
+    /// `jobs = 1` never spawns); cells run at `jobs = 1` internally so
+    /// grid-level and intra-run parallelism never oversubscribe, and the
+    /// always-on reference runs on the calling thread either way.
     pub fn compute_with_jobs(
         requests: &[Request],
         scale: Scale,
@@ -97,41 +98,18 @@ impl EvalGrid {
             ));
         }
 
-        let jobs = jobs.clamp(1, plan.len().max(1));
-        let mut metrics: Vec<Option<RunMetrics>> = (0..plan.len()).map(|_| None).collect();
-        if jobs == 1 {
-            for (slot, (rf, _, kind)) in metrics.iter_mut().zip(&plan) {
-                *slot = Some(run_experiment(requests, &spec_for(kind.clone(), *rf)));
-            }
-        } else {
-            let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<RunMetrics>>> =
-                (0..plan.len()).map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|s| {
-                for _ in 0..jobs {
-                    s.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= plan.len() {
-                            break;
-                        }
-                        let (rf, _, kind) = &plan[i];
-                        let m = run_experiment(requests, &spec_for(kind.clone(), *rf));
-                        *slots[i].lock().expect("no panics hold the slot lock") = Some(m);
-                    });
-                }
-            });
-            for (slot, cell) in metrics.iter_mut().zip(slots) {
-                *slot = cell.into_inner().expect("no panics hold the slot lock");
-            }
-        }
+        let metrics = pool::map_indexed(jobs, plan.len(), |i| {
+            let (rf, _, kind) = &plan[i];
+            run_experiment(requests, &spec_for(kind.clone(), *rf))
+        });
 
         let cells = plan
             .into_iter()
             .zip(metrics)
-            .map(|((rf, scheduler, _), m)| GridCell {
+            .map(|((rf, scheduler, _), metrics)| GridCell {
                 rf,
                 scheduler,
-                metrics: m.expect("work queue computed every cell"),
+                metrics,
             })
             .collect();
         let always_on = run_always_on_baseline(requests, &spec_for(SchedulerKind::Static, 1));

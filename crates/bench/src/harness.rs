@@ -20,10 +20,12 @@ use std::time::Instant;
 
 use spindown_core::cost::CostFunction;
 use spindown_core::experiment::{build_scheduler, data_space, scan_stream, SchedulerKind};
-use spindown_core::model::Request;
+use spindown_core::model::{Assignment, Request};
+use spindown_core::offline::evaluate_offline_with_jobs;
 use spindown_core::placement::{PlacementConfig, PlacementMap};
 use spindown_core::sched::{MwisPlanner, MwisSolver};
 use spindown_core::system::{run_system_streamed, SystemConfig};
+use spindown_disk::mechanics::{DiskGeometry, Mechanics};
 use spindown_disk::power::PowerParams;
 use spindown_graph::mwis as solvers;
 use spindown_graph::setcover::SetCoverInstance;
@@ -122,7 +124,10 @@ pub struct BenchReport {
     /// `graph_build_speedup_medium` (bulk vs incremental build),
     /// `mwis_speedup_gwmin` / `mwis_speedup_gwmin2` (eager cascade on
     /// adjacency lists vs coalesced cascade on CSR — the pre-CSR
-    /// implementation against the production one).
+    /// implementation against the production one), and the intra-run
+    /// parallelism ratios `graph_build_parallel_speedup` /
+    /// `offline_eval_parallel_speedup` (serial vs
+    /// [`PARALLEL_BENCH_JOBS`]-worker runs of the same fixture).
     pub derived: Vec<DerivedEntry>,
 }
 
@@ -278,6 +283,13 @@ fn cover_fixture(universe: usize, seed: u64) -> SetCoverInstance {
     inst
 }
 
+/// Worker count the `*_parallel_*` benches run at, compared against
+/// their serial (`jobs = 1`) counterparts by the `derived.*_speedup`
+/// ratios. The attained speedup scales with the cores the host actually
+/// grants — on a single-core runner the ratio sits near (or slightly
+/// below) 1.0 and only the bit-identical outputs are meaningful.
+pub const PARALLEL_BENCH_JOBS: usize = 8;
+
 /// The small graph-build / grid scale (matches the unit-test scale).
 fn small_scale() -> Scale {
     Scale {
@@ -368,7 +380,10 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
             });
         }
     }
-    if want("graph_build_bulk_medium") || want("graph_build_incremental_medium") {
+    if want("graph_build_bulk_medium")
+        || want("graph_build_incremental_medium")
+        || want("graph_build_parallel_medium")
+    {
         let medium = GraphFixture::new(medium_scale(), 3, 32, config.seed);
         let mut bulk_medium = None;
         let mut incr_medium = None;
@@ -405,6 +420,103 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
                 name: "graph_build_speedup_medium",
                 value: incr.median_ns as f64 / bulk.median_ns as f64,
             });
+        }
+        if want("graph_build_parallel_medium") {
+            let stats = time_ns(warmup, gb_iters, || {
+                black_box(medium.planner.build_graph_with_jobs(
+                    &medium.requests,
+                    &medium.placement,
+                    PARALLEL_BENCH_JOBS,
+                ));
+            });
+            entries.push(BenchEntry {
+                name: "graph_build_parallel_medium",
+                stats,
+            });
+            if let Some(bulk) = bulk_medium {
+                derived.push(DerivedEntry {
+                    name: "graph_build_parallel_speedup",
+                    value: bulk.median_ns as f64 / stats.median_ns as f64,
+                });
+            }
+        }
+    }
+
+    // Per-disk offline evaluation, serial vs fanned across the worker
+    // pool — the paper-scale phase (180 disks) that is embarrassingly
+    // parallel once the assignment is fixed. The serial entry is timed
+    // here (rather than reusing another bench) so the derived speedup
+    // compares the same fixture under the same cache state.
+    if want("offline_eval_serial_medium") || want("offline_eval_parallel_medium") {
+        let scale = Scale {
+            requests: 100_000,
+            data_items: 20_000,
+            disks: 180,
+            rate: 40.0,
+        };
+        let requests = workload::cello(scale, config.seed);
+        let placement = PlacementMap::build(
+            data_space(&requests),
+            &PlacementConfig {
+                disks: scale.disks,
+                replication: 3,
+                zipf_z: 1.0,
+            },
+            config.seed,
+        );
+        // Fixed static assignment: every request to its first replica.
+        let assignment = Assignment {
+            disks: requests
+                .iter()
+                .map(|r| placement.locations(r.data)[0])
+                .collect(),
+        };
+        let params = PowerParams::barracuda();
+        let mechanics = Mechanics::new(
+            DiskGeometry::cheetah_15k5(),
+            SimRng::seed_from_u64(config.seed),
+        );
+        let mut serial_stats = None;
+        if want("offline_eval_serial_medium") {
+            let stats = time_ns(warmup, gb_iters, || {
+                black_box(evaluate_offline_with_jobs(
+                    &requests,
+                    &assignment,
+                    scale.disks,
+                    &params,
+                    None,
+                    Some(&mechanics),
+                    1,
+                ));
+            });
+            entries.push(BenchEntry {
+                name: "offline_eval_serial_medium",
+                stats,
+            });
+            serial_stats = Some(stats);
+        }
+        if want("offline_eval_parallel_medium") {
+            let stats = time_ns(warmup, gb_iters, || {
+                black_box(evaluate_offline_with_jobs(
+                    &requests,
+                    &assignment,
+                    scale.disks,
+                    &params,
+                    None,
+                    Some(&mechanics),
+                    PARALLEL_BENCH_JOBS,
+                ));
+            });
+            entries.push(BenchEntry {
+                name: "offline_eval_parallel_medium",
+                stats,
+            });
+            if let Some(serial) = serial_stats {
+                derived.push(DerivedEntry {
+                    name: "offline_eval_parallel_speedup",
+                    value: serial.median_ns as f64 / stats.median_ns as f64,
+                });
+            }
         }
     }
 

@@ -48,7 +48,11 @@ BENCH:
                              if any median regresses >25%
 
 MISC:
-    --jobs, -j <n>           worker threads          [default: 1]
+    --jobs, -j <n>           worker threads for parallel work: grid cells,
+                             MWIS conflict-graph build, per-disk offline
+                             evaluation (simulate/compare/bench). Results
+                             are bit-identical for any value. Precedence:
+                             this flag > SPINDOWN_JOBS env var > 1
     --seed <n>               master seed             [default: 42]
     --help                   show this text";
 
@@ -178,8 +182,11 @@ pub struct Cli {
     pub interval_ms: u64,
     /// Master seed.
     pub seed: u64,
-    /// Worker threads for parallel work (grids, benches).
-    pub jobs: usize,
+    /// Worker threads for parallel work (grids, benches, and the
+    /// intra-run MWIS/offline substrates). `None` defers to the
+    /// `SPINDOWN_JOBS` environment variable (see
+    /// [`Cli::effective_jobs`]).
+    pub jobs: Option<usize>,
     /// Timed iterations for `bench`.
     pub iters: usize,
     /// Warmup rounds for `bench`.
@@ -212,7 +219,7 @@ impl Default for Cli {
             beta: 100.0,
             interval_ms: 100,
             seed: 42,
-            jobs: 1,
+            jobs: None,
             iters: 5,
             warmup: 1,
             filter: None,
@@ -327,10 +334,11 @@ impl Cli {
                 }
                 "--seed" => cli.seed = parse_num(&value("--seed")?, "--seed")?,
                 "--jobs" | "-j" => {
-                    cli.jobs = parse_num(&value("--jobs")?, "--jobs")?;
-                    if cli.jobs == 0 {
+                    let jobs: usize = parse_num(&value("--jobs")?, "--jobs")?;
+                    if jobs == 0 {
                         return Err(ParseError::BadValue("--jobs".into()));
                     }
+                    cli.jobs = Some(jobs);
                 }
                 "--iters" => {
                     cli.iters = parse_num(&value("--iters")?, "--iters")?;
@@ -348,6 +356,12 @@ impl Cli {
             }
         }
         Ok(cli)
+    }
+
+    /// Resolves the worker count with the documented precedence:
+    /// `--jobs`/`-j` flag > `SPINDOWN_JOBS` environment variable > 1.
+    pub fn effective_jobs(&self) -> usize {
+        spindown_sim::Parallelism::resolve(self.jobs).get()
     }
 }
 
@@ -457,7 +471,8 @@ mod tests {
         assert_eq!(cli.command, Command::Bench);
         assert_eq!(cli.iters, 9);
         assert_eq!(cli.warmup, 2);
-        assert_eq!(cli.jobs, 4);
+        assert_eq!(cli.jobs, Some(4));
+        assert_eq!(cli.effective_jobs(), 4, "explicit flag wins");
         assert_eq!(cli.filter.as_deref(), Some("mwis_gwmin"));
         assert_eq!(cli.bench_out, PathBuf::from("/tmp/b.json"));
         assert_eq!(
@@ -467,7 +482,7 @@ mod tests {
         let defaults = Cli::parse(&argv("bench")).unwrap();
         assert_eq!(defaults.iters, 5);
         assert_eq!(defaults.warmup, 1);
-        assert_eq!(defaults.jobs, 1);
+        assert_eq!(defaults.jobs, None);
         assert_eq!(defaults.filter, None);
         assert_eq!(defaults.bench_out, PathBuf::from("BENCH_core.json"));
         assert_eq!(defaults.bench_baseline, None);
@@ -488,7 +503,8 @@ mod tests {
     #[test]
     fn jobs_flag_on_other_commands() {
         let cli = Cli::parse(&argv("simulate --jobs 3")).unwrap();
-        assert_eq!(cli.jobs, 3);
+        assert_eq!(cli.jobs, Some(3));
+        assert_eq!(cli.effective_jobs(), 3);
     }
 
     #[test]

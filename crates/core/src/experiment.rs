@@ -12,7 +12,7 @@ use spindown_trace::record::{OpKind, Trace, TraceRecord};
 use crate::cost::CostFunction;
 use crate::metrics::RunMetrics;
 use crate::model::{DataId, Request};
-use crate::offline::evaluate_offline;
+use crate::offline::evaluate_offline_with_jobs;
 use crate::placement::{PlacementConfig, PlacementMap};
 use crate::sched::{
     HeuristicScheduler, LoadAwareScheduler, MwisPlanner, MwisSolver, RandomScheduler, Scheduler,
@@ -284,6 +284,22 @@ pub fn build_scheduler(kind: &SchedulerKind, seed: u64) -> Option<Box<dyn Schedu
 /// the paper (§4.3: "configured to an offline model with no disk spin-up
 /// delay").
 pub fn run_experiment(requests: &[Request], spec: &ExperimentSpec) -> RunMetrics {
+    run_experiment_with_jobs(requests, spec, 1)
+}
+
+/// [`run_experiment`] with intra-run parallelism: the MWIS conflict-graph
+/// build ([`MwisPlanner::plan_with_jobs`]) and the per-disk offline
+/// evaluation ([`evaluate_offline_with_jobs`]) fan out across `jobs`
+/// workers. Both substrates are bit-identical to serial for any thread
+/// count, so the returned metrics do not depend on `jobs`; event-loop
+/// schedulers are inherently single-threaded and ignore it.
+///
+/// [`evaluate_offline_with_jobs`]: crate::offline::evaluate_offline_with_jobs
+pub fn run_experiment_with_jobs(
+    requests: &[Request],
+    spec: &ExperimentSpec,
+    jobs: usize,
+) -> RunMetrics {
     let placement = PlacementMap::build(data_space(requests), &spec.placement, spec.seed);
     match &spec.scheduler {
         SchedulerKind::Mwis {
@@ -295,18 +311,19 @@ pub fn run_experiment(requests: &[Request], spec: &ExperimentSpec) -> RunMetrics
                 solver: *solver,
                 max_successors: *max_successors,
             };
-            let (assignment, _) = planner.plan(requests, &placement);
+            let (assignment, _) = planner.plan_with_jobs(requests, &placement, jobs);
             let mechanics = Mechanics::new(
                 spec.system.geometry.clone(),
                 SimRng::seed_from_u64(spec.seed),
             );
-            evaluate_offline(
+            evaluate_offline_with_jobs(
                 requests,
                 &assignment,
                 spec.placement.disks,
                 &spec.system.power,
                 None,
                 Some(&mechanics),
+                jobs,
             )
         }
         online_or_batch => {

@@ -16,6 +16,7 @@
 use spindown_disk::mechanics::Mechanics;
 use spindown_disk::power::PowerParams;
 use spindown_disk::state::DiskPowerState;
+use spindown_sim::pool;
 use spindown_sim::stats::LatencyHistogram;
 use spindown_sim::time::SimTime;
 
@@ -47,6 +48,34 @@ pub fn evaluate_offline(
     horizon: Option<SimTime>,
     mechanics: Option<&Mechanics>,
 ) -> RunMetrics {
+    evaluate_offline_with_jobs(requests, assignment, disks, params, horizon, mechanics, 1)
+}
+
+/// [`evaluate_offline`] with the per-disk timeline reconstruction fanned
+/// out across `jobs` worker threads.
+///
+/// Once the assignment is fixed the disks are independent, so each
+/// [`evaluate_disk`] call lands in its own index-addressed slot and the
+/// reduction — energy sums, spin counts, and the response-histogram
+/// merge — walks the slots in disk order on the serial path and the
+/// parallel path alike. The returned [`RunMetrics`] is therefore
+/// **bit-identical** for any `jobs` value; `jobs <= 1` never spawns a
+/// thread.
+///
+/// # Panics
+///
+/// Panics if the assignment length differs from the request count, or a
+/// request is assigned to an out-of-range disk.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_offline_with_jobs(
+    requests: &[Request],
+    assignment: &Assignment,
+    disks: u32,
+    params: &PowerParams,
+    horizon: Option<SimTime>,
+    mechanics: Option<&Mechanics>,
+    jobs: usize,
+) -> RunMetrics {
     assert_eq!(
         requests.len(),
         assignment.len(),
@@ -69,18 +98,22 @@ pub fn evaluate_offline(
         per_disk[d.index()].push(req);
     }
 
+    let evaluated = pool::map_indexed(jobs, per_disk.len(), |d| {
+        evaluate_disk(&per_disk[d], params, &model, horizon_s, mechanics)
+    });
+
     let mut response = LatencyHistogram::default();
     let mut per_disk_summary = Vec::with_capacity(disks as usize);
     let mut total_energy = 0.0;
     let mut total_up = 0;
     let mut total_down = 0;
 
-    for list in &per_disk {
-        let s = evaluate_disk(list, params, &model, horizon_s, mechanics, &mut response);
+    for (s, hist) in evaluated {
         total_energy += s.energy_j;
         total_up += s.spinups;
         total_down += s.spindowns;
         per_disk_summary.push(s);
+        response.merge(&hist);
     }
 
     RunMetrics {
@@ -113,8 +146,8 @@ fn evaluate_disk(
     model: &SavingModel,
     horizon_s: f64,
     mechanics: Option<&Mechanics>,
-    response: &mut LatencyHistogram,
-) -> DiskSummary {
+) -> (DiskSummary, LatencyHistogram) {
+    let mut response = LatencyHistogram::default();
     let mut idle_s = 0.0;
     let mut active_s = 0.0;
     let mut spinups: u64 = 0;
@@ -179,13 +212,16 @@ fn evaluate_disk(
         state_fractions[DiskPowerState::SpinningDown.index()] = down_s / horizon_s;
     }
 
-    DiskSummary {
-        energy_j,
-        state_fractions,
-        spinups,
-        spindowns,
-        requests: list.len() as u64,
-    }
+    (
+        DiskSummary {
+            energy_j,
+            state_fractions,
+            spinups,
+            spindowns,
+            requests: list.len() as u64,
+        },
+        response,
+    )
 }
 
 /// Exhaustively finds a minimum-energy offline schedule by trying every
@@ -454,6 +490,48 @@ mod tests {
         assert_eq!(m.response.count(), 2);
         assert!(m.response.mean() > 0.0 && m.response.mean() < 0.05);
         assert!(m.per_disk[0].state_fractions[DiskPowerState::Active.index()] > 0.0);
+    }
+
+    #[test]
+    fn parallel_offline_eval_is_bit_identical() {
+        let reqs = toy_requests(&[0, 1, 3, 5, 12, 13]);
+        let assignment = Assignment {
+            disks: vec![
+                DiskId(0),
+                DiskId(0),
+                DiskId(1),
+                DiskId(2),
+                DiskId(3),
+                DiskId(2),
+            ],
+        };
+        let mech = Mechanics::new(
+            spindown_disk::mechanics::DiskGeometry::cheetah_15k5(),
+            spindown_sim::rng::SimRng::seed_from_u64(7),
+        );
+        for mechanics in [None, Some(&mech)] {
+            let serial = evaluate_offline_with_jobs(
+                &reqs,
+                &assignment,
+                4,
+                &PowerParams::barracuda(),
+                None,
+                mechanics,
+                1,
+            );
+            for jobs in [2usize, 3, 8] {
+                let par = evaluate_offline_with_jobs(
+                    &reqs,
+                    &assignment,
+                    4,
+                    &PowerParams::barracuda(),
+                    None,
+                    mechanics,
+                    jobs,
+                );
+                assert_eq!(par, serial, "jobs {jobs}");
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! settings on small instances).
 
 use spindown_disk::power::PowerParams;
+use spindown_sim::pool;
+
 use spindown_graph::csr::CsrGraph;
 use spindown_graph::graph::{Graph, GraphBuilder, GraphView, NodeId};
 use spindown_graph::mwis as solvers;
@@ -110,6 +112,57 @@ impl MwisPlanner {
         }
     }
 
+    /// Per-disk time-ordered request lists — the Step 1 enumeration
+    /// input, shared by the serial and sharded drivers.
+    fn per_disk_lists(requests: &[Request], placement: &dyn LocationProvider) -> Vec<Vec<u32>> {
+        let mut per_disk: Vec<Vec<u32>> = vec![Vec::new(); placement.disks() as usize];
+        for r in requests {
+            for d in placement.locations(r.data) {
+                per_disk[d.index()].push(r.index);
+            }
+        }
+        per_disk
+    }
+
+    /// Step 1 inner loop for one disk: emits every candidate saving
+    /// `X(i,j,k) > 0` among successor pairs on `list` (the disk's
+    /// time-ordered request ids), appending to `weights`/`nodes` and
+    /// reporting both endpoints of each new node through `touch`. Shared
+    /// verbatim by the serial and sharded Step 1 drivers so the two
+    /// paths cannot diverge.
+    #[allow(clippy::too_many_arguments)]
+    fn step1_disk(
+        model: &SavingModel,
+        requests: &[Request],
+        max_successors: usize,
+        k: usize,
+        list: &[u32],
+        weights: &mut Vec<f64>,
+        nodes: &mut Vec<(u32, u32, DiskId)>,
+        touch: &mut dyn FnMut(u32, NodeId),
+    ) {
+        for (pos, &i) in list.iter().enumerate() {
+            let ti = requests[i as usize].at;
+            for &j in list[pos + 1..].iter().take(max_successors) {
+                let tj = requests[j as usize].at;
+                // Strict ordering per Eq. 4 (t_i < t_j). Same-instant
+                // pairs are ordered by stream index, which is the
+                // paper's batch situation — allow them with gap 0.
+                let x = model.pair_saving_j(ti, tj);
+                if x <= 0.0 {
+                    // Later successors only have larger gaps on this
+                    // disk, so stop early.
+                    break;
+                }
+                let id = weights.len() as NodeId;
+                weights.push(x);
+                nodes.push((i, j, DiskId(k as u32)));
+                touch(i, id);
+                touch(j, id);
+            }
+        }
+    }
+
     /// Step 1 shared by both graph builders: one node per candidate
     /// saving `X(i,j,k) > 0`. Returns the node weights, the `(i, j, k)`
     /// triple per node, and per-request buckets of touching nodes that
@@ -125,42 +178,110 @@ impl MwisPlanner {
             "requests must be sorted by time"
         );
         let model = SavingModel::new(&self.params);
-        let n_disks = placement.disks() as usize;
-
-        // Per-disk time-ordered request lists.
-        let mut per_disk: Vec<Vec<u32>> = vec![Vec::new(); n_disks];
-        for r in requests {
-            for d in placement.locations(r.data) {
-                per_disk[d.index()].push(r.index);
-            }
-        }
+        let per_disk = Self::per_disk_lists(requests, placement);
 
         let mut weights: Vec<f64> = Vec::new();
         let mut nodes: Vec<(u32, u32, DiskId)> = Vec::new();
         let mut touching: Vec<Vec<NodeId>> = vec![Vec::new(); requests.len()];
         for (k, list) in per_disk.iter().enumerate() {
-            for (pos, &i) in list.iter().enumerate() {
-                let ti = requests[i as usize].at;
-                for &j in list[pos + 1..].iter().take(self.max_successors) {
-                    let tj = requests[j as usize].at;
-                    // Strict ordering per Eq. 4 (t_i < t_j). Same-instant
-                    // pairs are ordered by stream index, which is the
-                    // paper's batch situation — allow them with gap 0.
-                    let x = model.pair_saving_j(ti, tj);
-                    if x <= 0.0 {
-                        // Later successors only have larger gaps on this
-                        // disk, so stop early.
-                        break;
-                    }
-                    let id = weights.len() as NodeId;
-                    weights.push(x);
-                    nodes.push((i, j, DiskId(k as u32)));
-                    touching[i as usize].push(id);
-                    touching[j as usize].push(id);
-                }
+            Self::step1_disk(
+                &model,
+                requests,
+                self.max_successors,
+                k,
+                list,
+                &mut weights,
+                &mut nodes,
+                &mut |r, id| touching[r as usize].push(id),
+            );
+        }
+        (weights, nodes, touching)
+    }
+
+    /// Sharded Step 1: contiguous disk ranges fan out across the pool,
+    /// each shard emitting locally-numbered nodes plus `(request,
+    /// local_id)` touch records in its own emission order.
+    ///
+    /// The merge walks shards in shard-index order, offsetting each
+    /// shard's local ids by the node count of all earlier shards — which
+    /// is exactly the serial disk-order id sequence, so `weights`,
+    /// `nodes`, and every `touching[r]` bucket come out byte-identical
+    /// to [`step1_nodes`](Self::step1_nodes) for any `jobs` value.
+    #[allow(clippy::type_complexity)]
+    fn step1_nodes_sharded(
+        &self,
+        requests: &[Request],
+        placement: &dyn LocationProvider,
+        jobs: usize,
+    ) -> (Vec<f64>, Vec<(u32, u32, DiskId)>, Vec<Vec<NodeId>>) {
+        debug_assert!(
+            requests.windows(2).all(|w| w[0].at <= w[1].at),
+            "requests must be sorted by time"
+        );
+        let model = SavingModel::new(&self.params);
+        let per_disk = Self::per_disk_lists(requests, placement);
+        let ranges = pool::shard_ranges(per_disk.len(), pool::default_shards(jobs, per_disk.len()));
+        let max_successors = self.max_successors;
+        let parts = pool::map_indexed(jobs, ranges.len(), |s| {
+            let mut weights: Vec<f64> = Vec::new();
+            let mut nodes: Vec<(u32, u32, DiskId)> = Vec::new();
+            let mut touches: Vec<(u32, NodeId)> = Vec::new();
+            for k in ranges[s].clone() {
+                Self::step1_disk(
+                    &model,
+                    requests,
+                    max_successors,
+                    k,
+                    &per_disk[k],
+                    &mut weights,
+                    &mut nodes,
+                    &mut |r, id| touches.push((r, id)),
+                );
+            }
+            (weights, nodes, touches)
+        });
+
+        let total: usize = parts.iter().map(|p| p.0.len()).sum();
+        let mut weights: Vec<f64> = Vec::with_capacity(total);
+        let mut nodes: Vec<(u32, u32, DiskId)> = Vec::with_capacity(total);
+        let mut touching: Vec<Vec<NodeId>> = vec![Vec::new(); requests.len()];
+        for (w, n, t) in parts {
+            let offset = weights.len() as NodeId;
+            weights.extend(w);
+            nodes.extend(n);
+            for (r, local) in t {
+                touching[r as usize].push(offset + local);
             }
         }
         (weights, nodes, touching)
+    }
+
+    /// Step 2 conflict scan over one request bucket, reporting each edge
+    /// through `emit` exactly once (the two-shared-request case is
+    /// emitted from bucket `i` only). Shared verbatim by the serial
+    /// builder feed and the sharded edge-bucket producers.
+    fn step2_bucket(
+        nodes: &[(u32, u32, DiskId)],
+        r: usize,
+        bucket: &[NodeId],
+        emit: &mut dyn FnMut(NodeId, NodeId),
+    ) {
+        for (a_pos, &a) in bucket.iter().enumerate() {
+            let (ia, ja, ka) = nodes[a as usize];
+            for &b in &bucket[a_pos + 1..] {
+                let (ib, jb, kb) = nodes[b as usize];
+                if ia == ib || ja == jb || ka != kb {
+                    // A pair sharing *both* requests — the same (i, j)
+                    // hosted on two disks — co-occurs in bucket i and
+                    // again in bucket j. Emit it from bucket i only so
+                    // every conflict edge is recorded exactly once.
+                    if ia == ib && ja == jb && r != ia as usize {
+                        continue;
+                    }
+                    emit(a, b);
+                }
+            }
+        }
     }
 
     /// Builds the Step 1/2 conflict graph for `requests` (sorted by
@@ -206,24 +327,54 @@ impl MwisPlanner {
         builder.reserve_degrees(&degree_hint);
         drop(degree_hint);
         for (r, bucket) in touching.iter().enumerate() {
-            for (a_pos, &a) in bucket.iter().enumerate() {
-                let (ia, ja, ka) = nodes[a as usize];
-                for &b in &bucket[a_pos + 1..] {
-                    let (ib, jb, kb) = nodes[b as usize];
-                    if ia == ib || ja == jb || ka != kb {
-                        // A pair sharing *both* requests — the same (i, j)
-                        // hosted on two disks — co-occurs in bucket i and
-                        // again in bucket j. Emit it from bucket i only so
-                        // every conflict edge is recorded exactly once.
-                        if ia == ib && ja == jb && r != ia as usize {
-                            continue;
-                        }
-                        builder.add_edge(a, b);
-                    }
-                }
-            }
+            Self::step2_bucket(&nodes, r, bucket, &mut |a, b| builder.add_edge(a, b));
         }
 
+        ConflictGraph {
+            graph: builder.finalize_csr(),
+            nodes,
+        }
+    }
+
+    /// Parallel [`build_graph`](MwisPlanner::build_graph): Step 1 shards
+    /// over contiguous disk ranges, Step 2 over contiguous request-bucket
+    /// ranges, each Step 2 shard collecting its conflicts into a private
+    /// edge bucket. The buckets merge through
+    /// [`GraphBuilder::merge_edge_shards`] in shard-index order — the
+    /// serial emission sequence — and CSR finalization sorts every
+    /// adjacency slice, so the returned graph is **bit-identical** to
+    /// `jobs = 1` for any worker count. `jobs <= 1` takes the serial
+    /// path and spawns nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `requests` is not time-sorted.
+    pub fn build_graph_with_jobs(
+        &self,
+        requests: &[Request],
+        placement: &dyn LocationProvider,
+        jobs: usize,
+    ) -> ConflictGraph {
+        if jobs <= 1 {
+            return self.build_graph(requests, placement);
+        }
+        let (weights, nodes, touching) = self.step1_nodes_sharded(requests, placement, jobs);
+
+        let ranges = pool::shard_ranges(touching.len(), pool::default_shards(jobs, touching.len()));
+        let nodes_ref = &nodes;
+        let touching_ref = &touching;
+        let edge_shards: Vec<Vec<(NodeId, NodeId)>> = pool::map_indexed(jobs, ranges.len(), |s| {
+            let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+            for r in ranges[s].clone() {
+                Self::step2_bucket(nodes_ref, r, &touching_ref[r], &mut |a, b| {
+                    edges.push((a, b));
+                });
+            }
+            edges
+        });
+
+        let mut builder = GraphBuilder::with_weights(weights);
+        builder.merge_edge_shards(&edge_shards);
         ConflictGraph {
             graph: builder.finalize_csr(),
             nodes,
@@ -292,7 +443,21 @@ impl MwisPlanner {
         requests: &[Request],
         placement: &dyn LocationProvider,
     ) -> (Assignment, f64) {
-        let cg = self.build_graph(requests, placement);
+        self.plan_with_jobs(requests, placement, 1)
+    }
+
+    /// [`plan`](MwisPlanner::plan) with the graph build fanned across
+    /// `jobs` workers ([`build_graph_with_jobs`]). Steps 3–4 are
+    /// unchanged, so the plan is bit-identical for any `jobs` value.
+    ///
+    /// [`build_graph_with_jobs`]: MwisPlanner::build_graph_with_jobs
+    pub fn plan_with_jobs(
+        &self,
+        requests: &[Request],
+        placement: &dyn LocationProvider,
+        jobs: usize,
+    ) -> (Assignment, f64) {
+        let cg = self.build_graph_with_jobs(requests, placement, jobs);
         let selected = self.solve(&cg);
         let claimed: f64 = selected.iter().map(|&v| cg.graph.weight(v)).sum();
 
@@ -535,6 +700,31 @@ mod tests {
         }
         // Both backends drive the solver to the same selection.
         assert_eq!(p.solve(&bulk), p.solve(&incr));
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_on_paper_instance() {
+        let (reqs, placement) = paper_instance();
+        let p = planner(MwisSolver::GwMin);
+        let serial = p.build_graph(&reqs, &placement);
+        for jobs in [1usize, 2, 3, 8] {
+            let par = p.build_graph_with_jobs(&reqs, &placement, jobs);
+            assert_eq!(par.nodes, serial.nodes, "jobs {jobs}");
+            assert_eq!(par.graph, serial.graph, "jobs {jobs}");
+            let (a_par, s_par) = p.plan_with_jobs(&reqs, &placement, jobs);
+            let (a_ser, s_ser) = p.plan(&reqs, &placement);
+            assert_eq!(a_par.disks, a_ser.disks, "jobs {jobs}");
+            assert_eq!(s_par, s_ser, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_empty_stream() {
+        let placement = ExplicitPlacement::new(vec![vec![DiskId(0)]], 1);
+        let p = planner(MwisSolver::GwMin);
+        let cg = p.build_graph_with_jobs(&[], &placement, 8);
+        assert_eq!(cg.graph.len(), 0);
+        assert!(cg.nodes.is_empty());
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Seeded determinism suite for the intra-run parallel substrates.
+//!
+//! The worker pool's contract is that parallelism changes wall-clock,
+//! never bytes: the sharded conflict-graph build and the fanned per-disk
+//! offline evaluation must return **bit-identical** results for any
+//! worker count. This suite pins that contract across `jobs ∈ {1, 2, 8}`
+//! on seeded instances spanning sparse to dense conflict structure,
+//! mirroring the solver differential suites: the serial path is the
+//! oracle and every parallel output is compared with exact equality
+//! (CSR offsets/neighbors/weights through `CsrGraph`'s `PartialEq`,
+//! full `RunMetrics` including the response histogram).
+
+use spindown_core::experiment::{
+    data_space, requests_from_trace, run_experiment_with_jobs, ExperimentSpec, SchedulerKind,
+};
+use spindown_core::model::Request;
+use spindown_core::offline::evaluate_offline_with_jobs;
+use spindown_core::placement::{PlacementConfig, PlacementMap};
+use spindown_core::sched::{MwisPlanner, MwisSolver};
+use spindown_core::system::SystemConfig;
+use spindown_disk::power::PowerParams;
+use spindown_trace::synth::arrivals::OnOffProcess;
+use spindown_trace::synth::{CelloLike, TraceGenerator};
+
+/// Bursty multi-source arrivals at `burst_rate` req/s per source —
+/// higher rates pack more requests into each disk's saving window,
+/// densifying the conflict graph.
+fn workload(requests: usize, data_items: usize, burst_rate: f64, seed: u64) -> Vec<Request> {
+    let trace = CelloLike {
+        requests,
+        data_items,
+        arrivals: OnOffProcess {
+            sources: 8,
+            on_shape: 1.5,
+            on_scale_s: 2.0,
+            off_shape: 1.3,
+            off_scale_s: 30.0,
+            burst_rate,
+        },
+        ..CelloLike::default()
+    }
+    .generate(seed);
+    requests_from_trace(&trace)
+}
+
+const JOBS: [usize; 3] = [1, 2, 8];
+
+/// One seeded instance: workload shape plus placement and pruning knobs.
+/// `rate` (the per-source burst rate) relative to `requests`/`data_items`
+/// controls conflict density — the sweep below runs from sparse graphs
+/// (few pairs share a window) to dense ones (hot blocks, deep successor
+/// horizon).
+struct Instance {
+    name: &'static str,
+    requests: usize,
+    data_items: usize,
+    rate: f64,
+    disks: u32,
+    replication: u32,
+    max_successors: usize,
+    seed: u64,
+}
+
+const INSTANCES: [Instance; 4] = [
+    Instance {
+        name: "sparse-rf1",
+        requests: 800,
+        data_items: 600,
+        rate: 3.0,
+        disks: 16,
+        replication: 1,
+        max_successors: 3,
+        seed: 11,
+    },
+    Instance {
+        name: "moderate-rf3",
+        requests: 1_200,
+        data_items: 400,
+        rate: 6.0,
+        disks: 20,
+        replication: 3,
+        max_successors: 8,
+        seed: 23,
+    },
+    Instance {
+        name: "dense-rf5",
+        requests: 1_000,
+        data_items: 120,
+        rate: 12.0,
+        disks: 12,
+        replication: 5,
+        max_successors: 16,
+        seed: 37,
+    },
+    Instance {
+        name: "many-disks",
+        requests: 1_500,
+        data_items: 700,
+        rate: 8.0,
+        disks: 90,
+        replication: 3,
+        max_successors: 4,
+        seed: 51,
+    },
+];
+
+impl Instance {
+    fn workload(&self) -> (Vec<Request>, PlacementMap) {
+        let requests = workload(self.requests, self.data_items, self.rate, self.seed);
+        let placement = PlacementMap::build(
+            data_space(&requests),
+            &PlacementConfig {
+                disks: self.disks,
+                replication: self.replication,
+                zipf_z: 1.0,
+            },
+            self.seed,
+        );
+        (requests, placement)
+    }
+
+    fn planner(&self) -> MwisPlanner {
+        MwisPlanner {
+            params: PowerParams::barracuda(),
+            solver: MwisSolver::GwMin,
+            max_successors: self.max_successors,
+        }
+    }
+}
+
+/// The sharded Step 1/Step 2 build yields the same `ConflictGraph` —
+/// node triples, CSR offsets, sorted neighbor slices, weights — as the
+/// serial path, for every worker count, on every density.
+#[test]
+fn conflict_graph_is_bit_identical_across_jobs() {
+    for inst in &INSTANCES {
+        let (requests, placement) = inst.workload();
+        let planner = inst.planner();
+        let serial = planner.build_graph(&requests, &placement);
+        assert!(
+            !serial.graph.is_empty(),
+            "{}: degenerate instance (no nodes) proves nothing",
+            inst.name
+        );
+        for jobs in JOBS {
+            let par = planner.build_graph_with_jobs(&requests, &placement, jobs);
+            assert_eq!(par.nodes, serial.nodes, "{} jobs {jobs}", inst.name);
+            assert_eq!(par.graph, serial.graph, "{} jobs {jobs}", inst.name);
+        }
+    }
+}
+
+/// The full plan (build + solve + Step 4 derivation) is invariant in
+/// `jobs`: the same assignment and the same claimed saving.
+#[test]
+fn mwis_plan_is_bit_identical_across_jobs() {
+    for inst in &INSTANCES {
+        let (requests, placement) = inst.workload();
+        let planner = inst.planner();
+        let (serial_assignment, serial_saving) = planner.plan(&requests, &placement);
+        for jobs in JOBS {
+            let (assignment, saving) = planner.plan_with_jobs(&requests, &placement, jobs);
+            assert_eq!(
+                assignment.disks, serial_assignment.disks,
+                "{} jobs {jobs}",
+                inst.name
+            );
+            assert_eq!(saving, serial_saving, "{} jobs {jobs}", inst.name);
+        }
+    }
+}
+
+/// Fanned per-disk offline evaluation returns the identical
+/// `RunMetrics` — energies, spin counts, per-disk summaries, and the
+/// merged response histogram — for every worker count.
+#[test]
+fn offline_report_is_bit_identical_across_jobs() {
+    for inst in &INSTANCES {
+        let (requests, placement) = inst.workload();
+        let planner = inst.planner();
+        let (assignment, _) = planner.plan(&requests, &placement);
+        let params = PowerParams::barracuda();
+        let mechanics = spindown_disk::mechanics::Mechanics::new(
+            spindown_disk::mechanics::DiskGeometry::cheetah_15k5(),
+            spindown_sim::rng::SimRng::seed_from_u64(inst.seed),
+        );
+        for mech in [None, Some(&mechanics)] {
+            let serial = evaluate_offline_with_jobs(
+                &requests, &assignment, inst.disks, &params, None, mech, 1,
+            );
+            for jobs in JOBS {
+                let par = evaluate_offline_with_jobs(
+                    &requests, &assignment, inst.disks, &params, None, mech, jobs,
+                );
+                assert_eq!(par, serial, "{} jobs {jobs} mech {}", inst.name, mech.is_some());
+            }
+        }
+    }
+}
+
+/// End to end through the experiment layer: a full MWIS experiment run
+/// (placement, graph build, solve, offline evaluation) is invariant in
+/// `jobs`.
+#[test]
+fn mwis_experiment_is_bit_identical_across_jobs() {
+    let inst = &INSTANCES[1];
+    let requests = workload(inst.requests, inst.data_items, inst.rate, inst.seed);
+    let spec = ExperimentSpec {
+        placement: PlacementConfig {
+            disks: inst.disks,
+            replication: inst.replication,
+            zipf_z: 1.0,
+        },
+        scheduler: SchedulerKind::Mwis {
+            solver: MwisSolver::GwMin,
+            max_successors: inst.max_successors,
+        },
+        system: SystemConfig {
+            disks: inst.disks,
+            ..SystemConfig::default()
+        },
+        seed: inst.seed,
+    };
+    let serial = run_experiment_with_jobs(&requests, &spec, 1);
+    for jobs in JOBS {
+        let par = run_experiment_with_jobs(&requests, &spec, jobs);
+        assert_eq!(par, serial, "jobs {jobs}");
+    }
+}

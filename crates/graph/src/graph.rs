@@ -388,6 +388,52 @@ impl GraphBuilder {
         self.recorded
     }
 
+    /// Merges shard-local edge buckets produced by a parallel
+    /// enumeration, in **stable shard-index order**: shard `s`'s records
+    /// land before shard `s + 1`'s, and within a shard in emission
+    /// order — exactly the sequence a serial enumerator walking the
+    /// shards in order would have fed to
+    /// [`add_edge`](GraphBuilder::add_edge). A builder filled this way is
+    /// therefore indistinguishable from the serial build, so every
+    /// finalize flavor (insertion-order [`finalize`], `O(n)`
+    /// [`finalize_unique`], sorted [`finalize_csr`]) yields a
+    /// bit-identical graph for any shard count.
+    ///
+    /// Before inserting, one counting pass over the shards sizes every
+    /// adjacency list ([`reserve_degrees`](GraphBuilder::reserve_degrees)
+    /// with exact per-node record counts), so the merge never pays a
+    /// doubling reallocation.
+    ///
+    /// [`finalize`]: GraphBuilder::finalize
+    /// [`finalize_unique`]: GraphBuilder::finalize_unique
+    /// [`finalize_csr`]: GraphBuilder::finalize_csr
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn merge_edge_shards(&mut self, shards: &[Vec<(NodeId, NodeId)>]) {
+        let mut degree = vec![0usize; self.len()];
+        for shard in shards {
+            for &(u, v) in shard {
+                assert!(
+                    (u as usize) < self.len() && (v as usize) < self.len(),
+                    "edge endpoint out of range"
+                );
+                if u != v {
+                    degree[u as usize] += 1;
+                    degree[v as usize] += 1;
+                }
+            }
+        }
+        self.reserve_degrees(&degree);
+        drop(degree);
+        for shard in shards {
+            for &(u, v) in shard {
+                self.add_edge(u, v);
+            }
+        }
+    }
+
     /// Deduplicates every adjacency list in one sweep and returns the
     /// finished graph. `O(E + n)`: `stamp[v]` records the last node whose
     /// list saw `v`, so a repeat within one list is detected in `O(1)`
@@ -606,6 +652,41 @@ mod tests {
         b.add_edge(0, 1);
         b.add_edge(1, 0);
         let _ = b.finalize_unique();
+    }
+
+    #[test]
+    fn merge_edge_shards_matches_serial_feed() {
+        // The same edge sequence, split across shard buckets at an
+        // arbitrary boundary, must reproduce the serial builder exactly
+        // on every finalize flavor.
+        let edges = [(0u32, 1u32), (2, 3), (1, 2), (0, 3), (3, 1), (2, 0)];
+        let weights = vec![1.0, 2.0, 3.0, 4.0];
+        let mut serial = GraphBuilder::with_weights(weights.clone());
+        for &(u, v) in &edges {
+            serial.add_edge(u, v);
+        }
+        for split in 0..=edges.len() {
+            let shards = vec![edges[..split].to_vec(), edges[split..].to_vec()];
+            let mut merged = GraphBuilder::with_weights(weights.clone());
+            merged.merge_edge_shards(&shards);
+            assert_eq!(merged.pending_edges(), serial.pending_edges());
+            let (a, b) = (merged.finalize(), serial.clone().finalize());
+            assert_eq!(a.edge_count(), b.edge_count(), "split {split}");
+            for v in 0..4 {
+                assert_eq!(a.neighbors(v), b.neighbors(v), "split {split} node {v}");
+            }
+            // CSR flavor too (sorted adjacency).
+            let mut merged = GraphBuilder::with_weights(weights.clone());
+            merged.merge_edge_shards(&shards);
+            assert_eq!(merged.finalize_csr(), serial.clone().finalize_csr());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn merge_edge_shards_bounds_checked() {
+        let mut b = GraphBuilder::new(2);
+        b.merge_edge_shards(&[vec![(0, 7)]]);
     }
 
     #[test]

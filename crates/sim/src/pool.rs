@@ -1,0 +1,270 @@
+//! Deterministic scoped-thread worker pool.
+//!
+//! One clamp-and-spawn implementation shared by every parallel substrate
+//! in the workspace: experiment-grid cells
+//! (`spindown-bench`'s `EvalGrid`), sharded conflict-graph construction
+//! and per-disk offline evaluation (`spindown-core`). The contract is
+//! strict determinism: results land in **pre-sized, index-addressed
+//! slots**, so the output of [`map_indexed`] is bit-identical for every
+//! worker count — parallelism only changes wall-clock, never bytes.
+//!
+//! Scheduling is a shared atomic cursor over the task index space (a
+//! work queue, not a static partition), so a straggler task cannot idle
+//! the other workers. `jobs = 1` never spawns a thread: the closure runs
+//! inline on the caller's stack, making the serial path the literal
+//! zero-overhead baseline the determinism suites compare against.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted by [`Parallelism::from_env`]: a
+/// positive integer worker count. Unset, empty, or unparsable values
+/// fall back to 1 (serial).
+pub const JOBS_ENV_VAR: &str = "SPINDOWN_JOBS";
+
+/// A resolved worker-thread count (always ≥ 1).
+///
+/// The precedence chain for user-facing tools is
+/// [`Parallelism::resolve`]: an explicit setting (e.g. a `--jobs` flag)
+/// wins, otherwise the [`SPINDOWN_JOBS`](JOBS_ENV_VAR) environment
+/// variable, otherwise serial.
+///
+/// # Examples
+///
+/// ```
+/// use spindown_sim::pool::Parallelism;
+///
+/// assert_eq!(Parallelism::new(0).get(), 1, "zero clamps to serial");
+/// assert_eq!(Parallelism::new(8).get(), 8);
+/// assert_eq!(Parallelism::resolve(Some(3)).get(), 3, "explicit wins");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Parallelism(usize);
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::SERIAL
+    }
+}
+
+impl Parallelism {
+    /// Serial execution: one worker, no threads spawned.
+    pub const SERIAL: Parallelism = Parallelism(1);
+
+    /// Creates a parallelism level; `0` is clamped to 1.
+    pub fn new(jobs: usize) -> Self {
+        Parallelism(jobs.max(1))
+    }
+
+    /// The worker count (≥ 1).
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// Reads [`SPINDOWN_JOBS`](JOBS_ENV_VAR) from the environment;
+    /// unset / empty / unparsable / zero all yield serial.
+    pub fn from_env() -> Self {
+        match std::env::var(JOBS_ENV_VAR) {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => Parallelism(n),
+                _ => Parallelism::SERIAL,
+            },
+            Err(_) => Parallelism::SERIAL,
+        }
+    }
+
+    /// Resolves the user-facing precedence chain: `explicit` (e.g. a
+    /// `--jobs` flag) > [`SPINDOWN_JOBS`](JOBS_ENV_VAR) > serial.
+    pub fn resolve(explicit: Option<usize>) -> Self {
+        match explicit {
+            Some(n) => Parallelism::new(n),
+            None => Parallelism::from_env(),
+        }
+    }
+}
+
+/// Splits `0..len` into `shards` contiguous, balanced, in-order ranges
+/// (the first `len % shards` ranges are one longer). Empty ranges are
+/// never produced: the shard count is clamped to `1..=len` (a zero-length
+/// input yields no ranges at all).
+///
+/// Sharded producers pair this with [`map_indexed`]: each shard fills its
+/// own output slot and the caller concatenates slots in shard-index
+/// order, which keeps the merged result independent of both the worker
+/// count *and* the shard count whenever downstream consumers normalize
+/// order (e.g. CSR finalization sorts each adjacency slice).
+pub fn shard_ranges(len: usize, shards: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let width = base + usize::from(s < extra);
+        out.push(start..start + width);
+        start += width;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Applies `f` to every index in `0..len` with up to `jobs` worker
+/// threads and returns the results in index order.
+///
+/// * `jobs` is clamped to `1..=len`; `jobs = 1` (or `len <= 1`) runs
+///   entirely on the calling thread — no spawn, no locks.
+/// * Tasks are claimed from a shared atomic cursor, so scheduling adapts
+///   to imbalance; each result is written to its own pre-sized slot, so
+///   the returned `Vec` is **bit-identical for any `jobs` value**.
+/// * A panic inside `f` propagates to the caller once the scope joins.
+pub fn map_indexed<T, F>(jobs: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, len.max(1));
+    if jobs == 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().expect("no panics hold the slot lock") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no panics hold the slot lock")
+                .expect("work queue computed every slot")
+        })
+        .collect()
+}
+
+/// Sharded map-then-concatenate: runs `f` over [`shard_ranges`]`(len,
+/// shards)` with up to `jobs` workers and flattens the per-shard outputs
+/// in shard-index order.
+///
+/// This is the shape of both parallel substrates inside a single
+/// simulation — conflict-graph pair enumeration (shards emit edge
+/// buckets) and anything else whose serial output is a concatenation of
+/// independent contiguous chunks. Because the flatten order is the shard
+/// order and the shard order is the index order, the result equals the
+/// serial `(0..len)` emission byte for byte.
+pub fn map_sharded<T, F>(jobs: usize, len: usize, shards: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> Vec<T> + Sync,
+{
+    let ranges = shard_ranges(len, shards);
+    map_indexed(jobs, ranges.len(), |s| f(ranges[s].clone()))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Default shard multiplier: sharding finer than the worker count lets
+/// the work queue absorb per-shard cost imbalance (dense disks, hot
+/// request buckets) without a scheduling heuristic. Four shards per
+/// worker keeps the merge bookkeeping negligible while bounding the
+/// worst-case idle tail at ~¼ of one worker's share.
+pub const SHARDS_PER_JOB: usize = 4;
+
+/// Shard count for `jobs` workers over `len` tasks:
+/// `jobs × SHARDS_PER_JOB`, clamped to `1..=len`.
+pub fn default_shards(jobs: usize, len: usize) -> usize {
+    jobs.saturating_mul(SHARDS_PER_JOB).clamp(1, len.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_clamps_and_resolves() {
+        assert_eq!(Parallelism::new(0), Parallelism::SERIAL);
+        assert_eq!(Parallelism::new(5).get(), 5);
+        assert_eq!(Parallelism::default(), Parallelism::SERIAL);
+        assert_eq!(Parallelism::resolve(Some(0)).get(), 1);
+        assert_eq!(Parallelism::resolve(Some(7)).get(), 7);
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_balance() {
+        for len in [0usize, 1, 2, 7, 64, 1000] {
+            for shards in [1usize, 2, 3, 8, 2000] {
+                let ranges = shard_ranges(len, shards);
+                if len == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert_eq!(ranges.len(), shards.min(len));
+                // Contiguous, in order, covering 0..len.
+                assert_eq!(ranges.first().unwrap().start, 0);
+                assert_eq!(ranges.last().unwrap().end, len);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                }
+                // Balanced within one.
+                let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                assert!(max - min <= 1, "len {len} shards {shards}");
+                assert!(min >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_matches_serial_for_any_jobs() {
+        let serial: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for jobs in [1usize, 2, 3, 8, 200] {
+            assert_eq!(map_indexed(jobs, 100, |i| i * i), serial, "jobs {jobs}");
+        }
+        assert!(map_indexed::<usize, _>(4, 0, |_| unreachable!()).is_empty());
+    }
+
+    #[test]
+    fn map_sharded_equals_serial_concatenation() {
+        let serial: Vec<usize> = (0..97).map(|i| i * 3).collect();
+        for jobs in [1usize, 2, 8] {
+            for shards in [1usize, 2, 5, 97, 500] {
+                let got = map_sharded(jobs, 97, shards, |r| r.map(|i| i * 3).collect());
+                assert_eq!(got, serial, "jobs {jobs} shards {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_shards_oversubscribes_but_clamps() {
+        assert_eq!(default_shards(1, 1000), SHARDS_PER_JOB);
+        assert_eq!(default_shards(4, 1000), 4 * SHARDS_PER_JOB);
+        assert_eq!(default_shards(8, 5), 5, "never more shards than tasks");
+        assert_eq!(default_shards(8, 0), 1);
+    }
+
+    #[test]
+    fn workers_share_one_queue() {
+        // More tasks than workers with wildly uneven costs still produce
+        // index-ordered output.
+        let out = map_indexed(4, 37, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..37).collect::<Vec<_>>());
+    }
+}
