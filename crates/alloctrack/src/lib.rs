@@ -1,0 +1,97 @@
+//! Thread-local allocation counting for the bench harness.
+//!
+//! [`CountingAlloc`] is a [`GlobalAlloc`] that delegates every operation
+//! to the [`System`] allocator and bumps a thread-local counter on each
+//! `alloc`, `alloc_zeroed`, and `realloc`. Installed behind the
+//! `bench-alloc` feature of the CLI:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: spindown_alloctrack::CountingAlloc =
+//!     spindown_alloctrack::CountingAlloc;
+//! ```
+//!
+//! the harness brackets a warm solve with [`reset_thread_allocs`] /
+//! [`thread_allocs`] to report the `allocs_per_solve` gauge — the
+//! zero-allocation contract of the scratch-reuse paths, measured rather
+//! than asserted. The counter is per-thread, so worker-pool allocations
+//! do not pollute a measurement taken on the driver thread; that is the
+//! right scope for the serial warm-solve gauge this exists for.
+//!
+//! This is the one crate in the workspace that cannot
+//! `forbid(unsafe_code)`: implementing `GlobalAlloc` is inherently
+//! `unsafe`. Every method forwards verbatim to [`System`]; the only
+//! added behaviour is the counter bump, which cannot allocate (the
+//! thread-local is const-initialized and `u64` has no destructor, so no
+//! lazy registration runs inside the allocator).
+
+#![deny(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of heap acquisitions (`alloc` + `alloc_zeroed` + `realloc`)
+/// performed by the **current thread** since the last
+/// [`reset_thread_allocs`], as counted by an installed [`CountingAlloc`].
+/// Always 0 when the counting allocator is not the global allocator.
+pub fn thread_allocs() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// Resets the current thread's allocation counter to zero.
+pub fn reset_thread_allocs() {
+    ALLOCS.with(|c| c.set(0));
+}
+
+/// A [`System`]-delegating global allocator that counts acquisitions
+/// per thread. See the crate docs for usage.
+pub struct CountingAlloc;
+
+#[inline]
+fn bump() {
+    ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not installed in this crate's own test binary, so
+    // only the counter plumbing is testable here; end-to-end counting is
+    // exercised by the CLI's `bench-alloc` build.
+    #[test]
+    fn counter_plumbing() {
+        reset_thread_allocs();
+        assert_eq!(thread_allocs(), 0);
+        bump();
+        bump();
+        assert_eq!(thread_allocs(), 2);
+        reset_thread_allocs();
+        assert_eq!(thread_allocs(), 0);
+    }
+}

@@ -1,10 +1,10 @@
 //! Zero-dependency micro-benchmark harness.
 //!
-//! Times the algorithmic substrates — conflict-graph construction (bulk
-//! [`GraphBuilder`](spindown_graph::GraphBuilder) path versus the
-//! incremental `add_edge` baseline), each MWIS solver (the production
-//! CSR backend, the adjacency-list backend, and the eager-cascade
-//! reference engine), and full experiment-grid evaluation — over a
+//! Times the algorithmic substrates — conflict-graph construction (the
+//! arena-backed flat-edge path versus the incremental `add_edge`
+//! baseline), each MWIS solver (the production tournament-tree engine on
+//! CSR, the adjacency-list backend, and the eager-cascade reference
+//! engine), and full experiment-grid evaluation — over a
 //! configurable warmup + iteration count, reporting median/p10/p90 wall
 //! times. The `spindown bench` subcommand renders a [`BenchReport`] to
 //! JSON (`BENCH_core.json` at the repo root by default); no external
@@ -123,8 +123,10 @@ pub struct BenchReport {
     /// Median-over-median speedups computed from this run's entries:
     /// `graph_build_speedup_medium` (bulk vs incremental build),
     /// `mwis_speedup_gwmin` / `mwis_speedup_gwmin2` (eager cascade on
-    /// adjacency lists vs coalesced cascade on CSR — the pre-CSR
-    /// implementation against the production one), and the intra-run
+    /// adjacency lists vs the tournament-tree engine on CSR — the
+    /// original implementation against the production one),
+    /// `allocs_per_solve` (heap allocations inside a warm production
+    /// solve, `bench-alloc` builds only), and the intra-run
     /// parallelism ratios `graph_build_parallel_speedup` /
     /// `offline_eval_parallel_speedup` (serial vs
     /// [`PARALLEL_BENCH_JOBS`]-worker runs of the same fixture).
@@ -283,11 +285,13 @@ fn cover_fixture(universe: usize, seed: u64) -> SetCoverInstance {
     inst
 }
 
-/// Worker count the `*_parallel_*` benches run at, compared against
-/// their serial (`jobs = 1`) counterparts by the `derived.*_speedup`
-/// ratios. The attained speedup scales with the cores the host actually
-/// grants — on a single-core runner the ratio sits near (or slightly
-/// below) 1.0 and only the bit-identical outputs are meaningful.
+/// Default worker count the `*_parallel_*` benches run at when the
+/// config does not ask for a specific one (`--jobs` > 1 overrides it),
+/// compared against their serial (`jobs = 1`) counterparts by the
+/// `derived.*_speedup` ratios. The attained speedup scales with the
+/// cores the host actually grants — on a single-core runner the ratio
+/// sits near (or slightly below) 1.0 and only the bit-identical outputs
+/// are meaningful.
 pub const PARALLEL_BENCH_JOBS: usize = 8;
 
 /// The small graph-build / grid scale (matches the unit-test scale).
@@ -349,8 +353,16 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
         None => true,
     };
     let (warmup, iters) = (config.warmup, config.iters);
+    // Worker count for the `*_parallel_*` fixtures: `--jobs` when the
+    // caller pinned one (the CI `--jobs 4` gate), the suite default
+    // otherwise.
+    let par_jobs = if config.jobs > 1 {
+        config.jobs
+    } else {
+        PARALLEL_BENCH_JOBS
+    };
 
-    // Conflict-graph construction: bulk (GraphBuilder -> CSR) vs
+    // Conflict-graph construction: bulk (flat edge arena -> CSR) vs
     // incremental (Graph::add_edge), small and medium density. All four
     // build benches get extra samples: iterations are cheap (tens to
     // hundreds of ms — the small ones especially are noise-dominated at
@@ -426,7 +438,7 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
                 black_box(medium.planner.build_graph_with_jobs(
                     &medium.requests,
                     &medium.placement,
-                    PARALLEL_BENCH_JOBS,
+                    par_jobs,
                 ));
             });
             entries.push(BenchEntry {
@@ -504,7 +516,7 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
                     &params,
                     None,
                     Some(&mechanics),
-                    PARALLEL_BENCH_JOBS,
+                    par_jobs,
                 ));
             });
             entries.push(BenchEntry {
@@ -523,12 +535,19 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
     // MWIS solvers on a moderate-density conflict graph (see
     // [`solver_scale`] for why not the medium one). Three configurations
     // per greedy:
-    //   *            — coalesced cascade on the CSR backend (production);
-    //   *_adjacency  — coalesced cascade on the adjacency-list backend
-    //                  (isolates the storage layout);
+    //   *            — tournament-tree engine on the CSR backend, solving
+    //                  out of a warm scratch (production: the repeated-
+    //                  window configuration the planner runs);
+    //   *_adjacency  — tournament-tree engine on the adjacency-list
+    //                  backend (isolates the storage layout);
     //   *_eager      — eager cascade on the adjacency-list backend (the
-    //                  pre-CSR implementation; isolates the cascade when
+    //                  original implementation; isolates the engine when
     //                  read against *_adjacency).
+    //
+    // With the `bench-alloc` feature the warm production solves are also
+    // bracketed by the thread-local allocation counter and the largest
+    // count is reported as the derived `allocs_per_solve` — the
+    // measured form of the scratch-reuse zero-allocation contract.
     let solver_names = [
         "mwis_gwmin",
         "mwis_gwmin2",
@@ -545,28 +564,63 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
             .build_graph(&solver_fix.requests, &solver_fix.placement);
         let mut csr_gwmin = None;
         let mut csr_gwmin2 = None;
+        let mut scratch = solvers::GreedyScratch::new();
+        let mut selected: Vec<spindown_graph::graph::NodeId> = Vec::new();
+        #[cfg(feature = "bench-alloc")]
+        let mut max_allocs_per_solve: u64 = 0;
+        #[cfg(feature = "bench-alloc")]
+        let count_warm_solve = |f: &mut dyn FnMut()| -> u64 {
+            spindown_alloctrack::reset_thread_allocs();
+            f();
+            spindown_alloctrack::thread_allocs()
+        };
         if want("mwis_gwmin") {
             // NB: "mwis_gwmin" is a substring of every gwmin variant, so a
             // `--filter mwis_gwmin` run times all of them — that is the
             // comparison someone filtering on the name wants.
+            solvers::gwmin_into(&cg.graph, &mut scratch, &mut selected);
             let stats = time_ns(warmup, iters, || {
-                black_box(solvers::gwmin(&cg.graph));
+                solvers::gwmin_into(&cg.graph, &mut scratch, &mut selected);
+                black_box(&selected);
             });
             entries.push(BenchEntry {
                 name: "mwis_gwmin",
                 stats,
             });
             csr_gwmin = Some(stats);
+            #[cfg(feature = "bench-alloc")]
+            {
+                let allocs = count_warm_solve(&mut || {
+                    solvers::gwmin_into(&cg.graph, &mut scratch, &mut selected)
+                });
+                max_allocs_per_solve = max_allocs_per_solve.max(allocs);
+            }
         }
         if want("mwis_gwmin2") {
+            solvers::gwmin2_into(&cg.graph, &mut scratch, &mut selected);
             let stats = time_ns(warmup, iters, || {
-                black_box(solvers::gwmin2(&cg.graph));
+                solvers::gwmin2_into(&cg.graph, &mut scratch, &mut selected);
+                black_box(&selected);
             });
             entries.push(BenchEntry {
                 name: "mwis_gwmin2",
                 stats,
             });
             csr_gwmin2 = Some(stats);
+            #[cfg(feature = "bench-alloc")]
+            {
+                let allocs = count_warm_solve(&mut || {
+                    solvers::gwmin2_into(&cg.graph, &mut scratch, &mut selected)
+                });
+                max_allocs_per_solve = max_allocs_per_solve.max(allocs);
+            }
+        }
+        #[cfg(feature = "bench-alloc")]
+        if want("mwis_gwmin") || want("mwis_gwmin2") {
+            derived.push(DerivedEntry {
+                name: "allocs_per_solve",
+                value: max_allocs_per_solve as f64,
+            });
         }
         if [
             "mwis_gwmin_adjacency",

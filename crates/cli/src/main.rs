@@ -1,5 +1,13 @@
 //! `spindown-cli` binary entry point.
 
+// With `--features bench-alloc`, every heap acquisition in the process
+// goes through the counting allocator so the bench harness can report
+// `allocs_per_solve` (see `spindown_alloctrack`). Off by default: the
+// plain `System` allocator serves the production binary.
+#[cfg(feature = "bench-alloc")]
+#[global_allocator]
+static ALLOC: spindown_alloctrack::CountingAlloc = spindown_alloctrack::CountingAlloc;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = spindown_cli::run(&argv, &mut std::io::stdout());

@@ -28,7 +28,7 @@ use spindown_disk::power::PowerParams;
 use spindown_sim::pool;
 
 use spindown_graph::csr::CsrGraph;
-use spindown_graph::graph::{Graph, GraphBuilder, GraphView, NodeId};
+use spindown_graph::graph::{Graph, GraphView, NodeId};
 use spindown_graph::mwis as solvers;
 
 use crate::model::{Assignment, DiskId, Request};
@@ -89,6 +89,28 @@ pub struct ConflictGraphOn<G> {
 /// times — sorted flat adjacency gives the MWIS cascades contiguous
 /// neighbor scans and `has_edge` a binary search.
 pub type ConflictGraph = ConflictGraphOn<CsrGraph>;
+
+/// Reusable working memory for repeated planner solves: the greedy
+/// engine's [`GreedyScratch`](solvers::GreedyScratch) plus the selection
+/// vector the solve writes into. A scratch warmed on one window performs
+/// zero allocations on every later greedy solve of windows no larger
+/// than the warm one — the property the rolling-horizon re-planning
+/// loop (ROADMAP) and the bench harness's `allocs_per_solve` gauge
+/// depend on. Carries no results between solves.
+#[derive(Default)]
+pub struct PlanScratch {
+    greedy: solvers::GreedyScratch,
+    /// Selection of the most recent [`MwisPlanner::solve_into`] call,
+    /// sorted ascending.
+    pub selected: Vec<NodeId>,
+}
+
+impl PlanScratch {
+    /// An empty scratch; buffers are sized lazily by the first solve.
+    pub fn new() -> Self {
+        PlanScratch::default()
+    }
+}
 
 /// The offline scheduler.
 #[derive(Debug, Clone)]
@@ -284,14 +306,26 @@ impl MwisPlanner {
         }
     }
 
+    /// Pair-count upper bound on the conflict records bucket range
+    /// `lens` can emit: every co-bucket pair, `Σ C(|bucket|, 2)`. Sizes
+    /// the flat Step 2 edge arenas in `O(#buckets)` — an over-count only
+    /// by chained pairs (no conflict) and two-shared-request pairs
+    /// (emitted from one bucket), so the arenas never reallocate and
+    /// carry little slack.
+    fn step2_arena_bound<'a>(lens: impl Iterator<Item = &'a Vec<NodeId>>) -> usize {
+        lens.map(|b| b.len() * b.len().saturating_sub(1) / 2).sum()
+    }
+
     /// Builds the Step 1/2 conflict graph for `requests` (sorted by
     /// time) under `placement`.
     ///
-    /// Step 2 emits each conflict edge exactly once into a
-    /// [`GraphBuilder`], which freezes straight into CSR storage (one
-    /// sort + dedup pass per adjacency slice), so the build is
-    /// `O(E log d̄)` in the conflict count. The resulting graph encodes
-    /// exactly the edge set produced by
+    /// Step 2 emits each conflict edge exactly once into a flat
+    /// `(u32, u32)` edge arena sized up front by a counting pass over the
+    /// bucket sizes, and the arena scatters straight into CSR storage
+    /// through [`CsrGraph::from_unique_edges`] — one exactly-reserved
+    /// neighbor allocation, no per-node `Vec` growth, no builder replay.
+    /// `O(E log d̄)` in the conflict count for the per-slice sorts. The
+    /// resulting graph encodes exactly the edge set produced by
     /// [`build_graph_incremental`](MwisPlanner::build_graph_incremental),
     /// with each neighbor slice sorted ascending.
     ///
@@ -312,26 +346,14 @@ impl MwisPlanner {
         // X(1,3,1) and X(2,3,1) conflict "because of the energy-constraint
         // of request r3"), or same request pinned to different disks (the
         // schedule-constraint).
-        let mut builder = GraphBuilder::with_weights(weights);
-        // Each node conflicts only with co-members of its two buckets, so
-        // bucket sizes bound its degree before any edge is emitted. The
-        // hint over-counts (chained pairs don't conflict, duplicate pairs
-        // merge) but lets the builder allocate every adjacency list once
-        // instead of doubling it through reallocations.
-        let mut degree_hint = vec![0usize; nodes.len()];
-        for bucket in &touching {
-            for &v in bucket {
-                degree_hint[v as usize] += bucket.len() - 1;
-            }
-        }
-        builder.reserve_degrees(&degree_hint);
-        drop(degree_hint);
+        let mut edges: Vec<(NodeId, NodeId)> =
+            Vec::with_capacity(Self::step2_arena_bound(touching.iter()));
         for (r, bucket) in touching.iter().enumerate() {
-            Self::step2_bucket(&nodes, r, bucket, &mut |a, b| builder.add_edge(a, b));
+            Self::step2_bucket(&nodes, r, bucket, &mut |a, b| edges.push((a, b)));
         }
 
         ConflictGraph {
-            graph: builder.finalize_csr(),
+            graph: CsrGraph::from_unique_edges(weights, &edges),
             nodes,
         }
     }
@@ -339,12 +361,16 @@ impl MwisPlanner {
     /// Parallel [`build_graph`](MwisPlanner::build_graph): Step 1 shards
     /// over contiguous disk ranges, Step 2 over contiguous request-bucket
     /// ranges, each Step 2 shard collecting its conflicts into a private
-    /// edge bucket. The buckets merge through
-    /// [`GraphBuilder::merge_edge_shards`] in shard-index order — the
-    /// serial emission sequence — and CSR finalization sorts every
-    /// adjacency slice, so the returned graph is **bit-identical** to
-    /// `jobs = 1` for any worker count. `jobs <= 1` takes the serial
-    /// path and spawns nothing.
+    /// preallocated edge arena (sized by the same counting pass as the
+    /// serial path, restricted to the shard's buckets). The arenas
+    /// scatter straight into CSR storage through
+    /// [`CsrGraph::from_unique_edge_shards`], which walks them in
+    /// shard-index order — the serial emission sequence — so the returned
+    /// graph is **bit-identical** to `jobs = 1` for any worker count with
+    /// no intermediate merge or builder replay.
+    /// ([`GraphBuilder::merge_edge_shards`](spindown_graph::graph::GraphBuilder::merge_edge_shards)
+    /// remains the replay-based oracle for that equivalence.) `jobs <= 1`
+    /// takes the serial path and spawns nothing.
     ///
     /// # Panics
     ///
@@ -364,7 +390,8 @@ impl MwisPlanner {
         let nodes_ref = &nodes;
         let touching_ref = &touching;
         let edge_shards: Vec<Vec<(NodeId, NodeId)>> = pool::map_indexed(jobs, ranges.len(), |s| {
-            let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+            let bound = Self::step2_arena_bound(touching_ref[ranges[s].clone()].iter());
+            let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(bound);
             for r in ranges[s].clone() {
                 Self::step2_bucket(nodes_ref, r, &touching_ref[r], &mut |a, b| {
                     edges.push((a, b));
@@ -373,10 +400,8 @@ impl MwisPlanner {
             edges
         });
 
-        let mut builder = GraphBuilder::with_weights(weights);
-        builder.merge_edge_shards(&edge_shards);
         ConflictGraph {
-            graph: builder.finalize_csr(),
+            graph: CsrGraph::from_unique_edge_shards(weights, &edge_shards),
             nodes,
         }
     }
@@ -422,17 +447,31 @@ impl MwisPlanner {
     /// Generic over the storage backend so the CSR production path and
     /// the adjacency-list oracle run the same solver code.
     pub fn solve<G: GraphView>(&self, cg: &ConflictGraphOn<G>) -> Vec<NodeId> {
+        let mut scratch = PlanScratch::new();
+        self.solve_into(cg, &mut scratch);
+        scratch.selected
+    }
+
+    /// [`solve`](MwisPlanner::solve) with caller-owned working memory:
+    /// the selection lands in `scratch.selected` and the greedy engine
+    /// runs out of `scratch`'s warm buffers, so repeated windows through
+    /// one scratch allocate nothing for the greedy solvers. The scratch
+    /// carries no state between solves — results are identical to a
+    /// fresh [`solve`](MwisPlanner::solve) call.
+    pub fn solve_into<G: GraphView>(&self, cg: &ConflictGraphOn<G>, scratch: &mut PlanScratch) {
+        let PlanScratch { greedy, selected } = scratch;
         match self.solver {
-            MwisSolver::GwMin => solvers::gwmin(&cg.graph),
-            MwisSolver::GwMin2 => solvers::gwmin2(&cg.graph),
+            MwisSolver::GwMin => solvers::gwmin_into(&cg.graph, greedy, selected),
+            MwisSolver::GwMin2 => solvers::gwmin2_into(&cg.graph, greedy, selected),
             MwisSolver::GwMinLocalSearch => {
-                let start = solvers::gwmin(&cg.graph);
-                solvers::local_search(&cg.graph, &start)
+                solvers::gwmin_into(&cg.graph, greedy, selected);
+                *selected = solvers::local_search(&cg.graph, selected);
             }
-            MwisSolver::Exact { node_limit } => {
-                solvers::exact(&cg.graph, node_limit).unwrap_or_else(|| solvers::gwmin(&cg.graph))
-            }
-            MwisSolver::GwMinRefined { .. } => solvers::gwmin(&cg.graph),
+            MwisSolver::Exact { node_limit } => match solvers::exact(&cg.graph, node_limit) {
+                Some(sel) => *selected = sel,
+                None => solvers::gwmin_into(&cg.graph, greedy, selected),
+            },
+            MwisSolver::GwMinRefined { .. } => solvers::gwmin_into(&cg.graph, greedy, selected),
         }
     }
 
@@ -457,14 +496,30 @@ impl MwisPlanner {
         placement: &dyn LocationProvider,
         jobs: usize,
     ) -> (Assignment, f64) {
+        self.plan_with_scratch(requests, placement, jobs, &mut PlanScratch::new())
+    }
+
+    /// [`plan_with_jobs`](MwisPlanner::plan_with_jobs) solving out of a
+    /// caller-owned [`PlanScratch`], so a rolling-horizon driver that
+    /// re-plans window after window pays the greedy engine's working-set
+    /// allocations once. The plan is identical to a fresh-scratch call
+    /// for any reuse pattern.
+    pub fn plan_with_scratch(
+        &self,
+        requests: &[Request],
+        placement: &dyn LocationProvider,
+        jobs: usize,
+        scratch: &mut PlanScratch,
+    ) -> (Assignment, f64) {
         let cg = self.build_graph_with_jobs(requests, placement, jobs);
-        let selected = self.solve(&cg);
+        self.solve_into(&cg, scratch);
+        let selected = &scratch.selected;
         let claimed: f64 = selected.iter().map(|&v| cg.graph.weight(v)).sum();
 
         // Step 4: pin requests named by selected nodes.
         let mut assignment = Assignment::with_len(requests.len());
         let mut pinned = vec![false; requests.len()];
-        for &v in &selected {
+        for &v in selected {
             let (i, j, k) = cg.nodes[v as usize];
             for r in [i, j] {
                 let r = r as usize;
@@ -715,6 +770,34 @@ mod tests {
             let (a_ser, s_ser) = p.plan(&reqs, &placement);
             assert_eq!(a_par.disks, a_ser.disks, "jobs {jobs}");
             assert_eq!(s_par, s_ser, "jobs {jobs}");
+        }
+    }
+
+    /// One [`PlanScratch`] threaded through consecutive plans of
+    /// *different* instances (the paper window, a shifted copy, the
+    /// empty stream, then the paper window again) must reproduce what
+    /// fresh planners with fresh scratches produce — the rolling-horizon
+    /// reuse contract.
+    #[test]
+    fn plan_scratch_reuse_matches_fresh_planners() {
+        let (reqs, placement) = paper_instance();
+        let shifted: Vec<Request> = reqs
+            .iter()
+            .map(|r| Request {
+                at: r.at + spindown_sim::time::SimDuration::from_secs(2),
+                ..*r
+            })
+            .collect();
+        for solver in [MwisSolver::GwMin, MwisSolver::GwMin2] {
+            let p = planner(solver);
+            let mut scratch = PlanScratch::new();
+            let windows: [&[Request]; 4] = [&reqs, &shifted, &[], &reqs];
+            for (w, window) in windows.iter().enumerate() {
+                let warm = p.plan_with_scratch(window, &placement, 1, &mut scratch);
+                let fresh = p.plan(window, &placement);
+                assert_eq!(warm.0.disks, fresh.0.disks, "window {w}");
+                assert_eq!(warm.1, fresh.1, "window {w}");
+            }
         }
     }
 

@@ -52,22 +52,145 @@ impl CsrGraph {
     /// Builds the CSR layout from per-node adjacency lists that may still
     /// contain duplicates (both endpoints hold the duplicate, so the
     /// sort + dedup per slice keeps the adjacency symmetric).
+    ///
+    /// Each list is deduplicated in place *before* the flat arrays are
+    /// allocated, so both are reserved to their exact final size — no
+    /// growth, no slack (debug builds assert capacity == length).
     pub(crate) fn from_lists(weights: Vec<f64>, mut adj: Vec<Vec<NodeId>>) -> CsrGraph {
-        let half_upper: usize = adj.iter().map(Vec::len).sum();
-        assert!(
-            half_upper <= u32::MAX as usize,
-            "CSR offsets are u32: {half_upper} half-edges exceed u32::MAX"
-        );
-        let mut offsets = Vec::with_capacity(weights.len() + 1);
-        let mut neighbors: Vec<NodeId> = Vec::with_capacity(half_upper);
-        offsets.push(0);
         for list in &mut adj {
             list.sort_unstable();
             list.dedup();
+        }
+        let half: usize = adj.iter().map(Vec::len).sum();
+        assert!(
+            half <= u32::MAX as usize,
+            "CSR offsets are u32: {half} half-edges exceed u32::MAX"
+        );
+        let mut offsets = Vec::with_capacity(weights.len() + 1);
+        let mut neighbors: Vec<NodeId> = Vec::with_capacity(half);
+        offsets.push(0);
+        for list in &adj {
             neighbors.extend_from_slice(list);
             offsets.push(neighbors.len() as u32);
         }
+        debug_assert_eq!(
+            neighbors.capacity(),
+            neighbors.len(),
+            "neighbor arena must be exactly reserved"
+        );
+        debug_assert_eq!(offsets.capacity(), offsets.len());
         let edges = neighbors.len() / 2;
+        CsrGraph {
+            weights,
+            offsets,
+            neighbors,
+            edges,
+        }
+    }
+
+    /// Builds the CSR layout from a flat arena of **unique** undirected
+    /// edge records in one counting pass plus one ordered scatter:
+    /// degrees are counted, offsets prefix-summed, and every half-edge
+    /// written straight into its final slot of a single exactly-sized
+    /// neighbor allocation — no per-node `Vec`s, no doubling growth, no
+    /// replay through an intermediate builder. Each node's slice is then
+    /// sorted ascending. `O(E + n)` plus the per-slice sorts.
+    ///
+    /// The caller guarantees no duplicate records (each undirected edge
+    /// appears exactly once, in either orientation) — the conflict-graph
+    /// build emits every pair exactly once by construction. Debug builds
+    /// verify the guarantee after sorting and panic on a duplicate;
+    /// release builds trust the caller. Self-loops are skipped, matching
+    /// [`GraphBuilder`](crate::graph::GraphBuilder) insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or the half-edge count
+    /// overflows the `u32` offset space.
+    pub fn from_unique_edges(weights: Vec<f64>, edges: &[(NodeId, NodeId)]) -> CsrGraph {
+        CsrGraph::from_unique_edge_shards(weights, std::slice::from_ref(&edges))
+    }
+
+    /// [`from_unique_edges`](CsrGraph::from_unique_edges) over shard-local
+    /// edge arenas produced by a parallel enumeration: the counting pass
+    /// walks the shards in index order and the scatter lands every record
+    /// directly in its endpoint slices, so the result is bit-identical to
+    /// feeding the concatenated shards through the serial constructor —
+    /// without ever materializing the concatenation. This is the
+    /// single-allocation replacement for the merge-into-builder-and-replay
+    /// path ([`GraphBuilder::merge_edge_shards`]), which is retained as
+    /// the differential oracle.
+    ///
+    /// [`GraphBuilder::merge_edge_shards`]:
+    ///     crate::graph::GraphBuilder::merge_edge_shards
+    pub fn from_unique_edge_shards<S: AsRef<[(NodeId, NodeId)]>>(
+        weights: Vec<f64>,
+        shards: &[S],
+    ) -> CsrGraph {
+        let n = weights.len();
+        // Counting pass: exact per-node half-edge counts.
+        let mut deg = vec![0u32; n];
+        let mut edges = 0usize;
+        for shard in shards {
+            for &(u, v) in shard.as_ref() {
+                assert!(
+                    (u as usize) < n && (v as usize) < n,
+                    "edge endpoint out of range"
+                );
+                if u != v {
+                    deg[u as usize] += 1;
+                    deg[v as usize] += 1;
+                    edges += 1;
+                }
+            }
+        }
+        let half = 2 * edges;
+        assert!(
+            half <= u32::MAX as usize,
+            "CSR offsets are u32: {half} half-edges exceed u32::MAX"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        // Ordered scatter into one exactly-sized allocation; `deg` is
+        // reused as each node's write cursor.
+        let mut neighbors = vec![0 as NodeId; half];
+        deg.copy_from_slice(&offsets[..n]);
+        let cursor = &mut deg;
+        for shard in shards {
+            for &(u, v) in shard.as_ref() {
+                if u != v {
+                    neighbors[cursor[u as usize] as usize] = v;
+                    cursor[u as usize] += 1;
+                    neighbors[cursor[v as usize] as usize] = u;
+                    cursor[v as usize] += 1;
+                }
+            }
+        }
+        debug_assert!(
+            cursor
+                .iter()
+                .zip(&offsets[1..])
+                .all(|(&c, &end)| c == end),
+            "scatter cursors must land exactly on the slice ends"
+        );
+        for v in 0..n {
+            let slice = &mut neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+            slice.sort_unstable();
+            debug_assert!(
+                slice.windows(2).all(|w| w[0] < w[1]),
+                "from_unique_edge_shards: duplicate edge at node {v}"
+            );
+        }
+        debug_assert_eq!(
+            neighbors.capacity(),
+            neighbors.len(),
+            "neighbor arena must be exactly reserved"
+        );
         CsrGraph {
             weights,
             offsets,
@@ -257,6 +380,48 @@ mod tests {
         assert_eq!(iso.degree(1), 0);
         assert!(iso.neighbors(1).is_empty());
         assert!(iso.is_independent_set(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn from_unique_edges_matches_builder() {
+        let weights = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let edges = [(3u32, 0u32), (0, 1), (2, 0), (4, 1), (2, 2), (3, 4)];
+        let mut b = GraphBuilder::with_weights(weights.clone());
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let oracle = b.finalize_csr();
+        let arena = CsrGraph::from_unique_edges(weights, &edges);
+        assert_eq!(arena, oracle, "arena scatter must equal the builder path");
+        assert_eq!(arena.edge_count(), 5, "self-loop skipped");
+    }
+
+    #[test]
+    fn from_unique_edge_shards_matches_serial_for_any_split() {
+        let weights = vec![1.0, 2.0, 3.0, 4.0];
+        let edges = [(0u32, 1u32), (2, 3), (1, 2), (0, 3), (3, 1), (2, 0)];
+        let serial = CsrGraph::from_unique_edges(weights.clone(), &edges);
+        for split in 0..=edges.len() {
+            let shards = vec![edges[..split].to_vec(), edges[split..].to_vec()];
+            let sharded = CsrGraph::from_unique_edge_shards(weights.clone(), &shards);
+            assert_eq!(sharded, serial, "split {split}");
+        }
+        let empty = CsrGraph::from_unique_edges(Vec::new(), &[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.edge_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_unique_edges_bounds_checked() {
+        CsrGraph::from_unique_edges(vec![1.0; 2], &[(0, 7)]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate edge")]
+    fn from_unique_edges_catches_duplicates_in_debug() {
+        CsrGraph::from_unique_edges(vec![1.0; 3], &[(0, 1), (1, 0)]);
     }
 
     #[test]
