@@ -23,7 +23,9 @@ use spindown_core::experiment::{build_scheduler, data_space, scan_stream, Schedu
 use spindown_core::model::{Assignment, Request};
 use spindown_core::offline::evaluate_offline_with_jobs;
 use spindown_core::placement::{PlacementConfig, PlacementMap};
-use spindown_core::sched::{MwisPlanner, MwisSolver};
+#[cfg(feature = "bench-alloc")]
+use spindown_core::sched::PlanScratch;
+use spindown_core::sched::{MwisPlanner, MwisSolver, WindowedPlanner};
 use spindown_core::system::{run_system_streamed, SystemConfig};
 use spindown_disk::mechanics::{DiskGeometry, Mechanics};
 use spindown_disk::power::PowerParams;
@@ -451,6 +453,111 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
                     value: bulk.median_ns as f64 / stats.median_ns as f64,
                 });
             }
+        }
+    }
+
+    // Rolling-horizon re-planning: the same sliding-window schedule run
+    // through the delta-maintained WindowedPlanner (tombstone retire +
+    // resume-region re-emission + new-endpoint bucket scan + compact to
+    // canonical CSR) versus a from-scratch conflict-graph rebuild (full
+    // Step 1/2 + CSR finalization) per window. Each window's solve is
+    // identical on both paths (the maintained graph is bit-identical to
+    // the rebuilt one, and `mwis_*` already times it), so the fixtures
+    // time graph maintenance alone — the work the delta layer actually
+    // replaces — and the derived `incremental_replan_speedup` is their
+    // ratio. The schedule ramps from empty (cold start admits only the
+    // first step) and then slides at full width, the production regime
+    // where window >> step.
+    if want("window_replan_incremental_medium") || want("window_replan_rebuild_medium") {
+        let scale = Scale {
+            requests: 1_400,
+            data_items: 150,
+            disks: 24,
+            rate: 10.0,
+        };
+        let fix = GraphFixture::new(scale, 3, 32, config.seed);
+        const CAP: usize = 800; // window size, requests
+        const STEP: usize = 25; // arrivals admitted per advance
+        let mut schedule: Vec<(std::ops::Range<usize>, SimTime)> = Vec::new();
+        let mut fed = 0usize;
+        while fed < fix.requests.len() {
+            let to = (fed + STEP).min(fix.requests.len());
+            let horizon = match to.checked_sub(CAP) {
+                Some(cut) => fix.requests[cut].at,
+                None => SimTime::ZERO,
+            };
+            schedule.push((fed..to, horizon));
+            fed = to;
+        }
+        let mut incr_medium = None;
+        let mut rebuild_medium = None;
+        if want("window_replan_incremental_medium") {
+            let stats = time_ns(warmup, iters, || {
+                let mut w = WindowedPlanner::new(fix.planner.clone(), scale.disks);
+                for (r, h) in &schedule {
+                    w.advance_window(&fix.requests[r.clone()], *h, &fix.placement);
+                    black_box(w.graph().edge_count());
+                }
+            });
+            entries.push(BenchEntry {
+                name: "window_replan_incremental_medium",
+                stats,
+            });
+            incr_medium = Some(stats);
+        }
+        if want("window_replan_rebuild_medium") {
+            // The naive re-planner's graph phase: every window re-runs
+            // the full from-scratch build. Windows are pre-rebased so
+            // the rebuild side pays only for building, not bookkeeping.
+            let windows: Vec<Vec<Request>> = schedule
+                .iter()
+                .map(|(r, h)| {
+                    let start = fix.requests.partition_point(|q| q.at < *h);
+                    fix.requests[start..r.end]
+                        .iter()
+                        .enumerate()
+                        .map(|(p, q)| Request {
+                            index: p as u32,
+                            ..*q
+                        })
+                        .collect()
+                })
+                .collect();
+            let stats = time_ns(warmup, iters, || {
+                for window in &windows {
+                    black_box(fix.planner.build_graph(window, &fix.placement));
+                }
+            });
+            entries.push(BenchEntry {
+                name: "window_replan_rebuild_medium",
+                stats,
+            });
+            rebuild_medium = Some(stats);
+        }
+        if let (Some(incr), Some(rebuild)) = (incr_medium, rebuild_medium) {
+            derived.push(DerivedEntry {
+                name: "incremental_replan_speedup",
+                value: rebuild.median_ns as f64 / incr.median_ns as f64,
+            });
+        }
+        // Warm-window solve allocations: after the slide, re-solving the
+        // maintained canonical graph with a warmed scratch must not
+        // touch the heap — the measured form of the warm-start
+        // invariant (DESIGN §12).
+        #[cfg(feature = "bench-alloc")]
+        if want("window_replan_incremental_medium") {
+            let mut w = WindowedPlanner::new(fix.planner.clone(), scale.disks);
+            for (r, h) in &schedule {
+                w.advance_window(&fix.requests[r.clone()], *h, &fix.placement);
+            }
+            let mut scratch = PlanScratch::new();
+            fix.planner.solve_view_into(w.graph(), &mut scratch); // warm
+            spindown_alloctrack::reset_thread_allocs();
+            fix.planner.solve_view_into(w.graph(), &mut scratch);
+            derived.push(DerivedEntry {
+                name: "window_replan_allocs_per_solve",
+                value: spindown_alloctrack::thread_allocs() as f64,
+            });
         }
     }
 

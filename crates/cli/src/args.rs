@@ -12,7 +12,7 @@ pub const USAGE: &str = "\
 spindown-cli — energy-aware disk scheduling simulator
 
 USAGE:
-    spindown-cli <simulate|compare|stats|bench> [options]
+    spindown-cli <simulate|compare|stats|replan|bench> [options]
 
 SOURCE (choose one):
     --trace <path>           SPC (.spc/.csv) or SRT (.srt/.txt) trace file,
@@ -38,6 +38,10 @@ SCHEDULER (simulate):
     --alpha <a>              Eq. 6 energy weight     [default: 0.2]
     --beta <b>               Eq. 6 unit factor       [default: 100]
     --interval-ms <ms>       WSC batch interval      [default: 100]
+
+REPLAN (rolling-horizon incremental re-planning):
+    --window-s <s>           planning-window length in seconds   [default: 60]
+    --step-s <s>             horizon advance per window, seconds [default: 10]
 
 BENCH:
     --iters <n>              timed iterations        [default: 5]
@@ -143,6 +147,9 @@ pub enum Command {
     Compare,
     /// Print trace statistics only.
     Stats,
+    /// Stream the workload through the rolling-horizon incremental
+    /// re-planner and report per-window plan aggregates.
+    Replan,
     /// Run the zero-dependency micro-benchmarks and write JSON.
     Bench,
 }
@@ -182,6 +189,10 @@ pub struct Cli {
     pub interval_ms: u64,
     /// Master seed.
     pub seed: u64,
+    /// `replan` planning-window length, seconds.
+    pub window_s: u64,
+    /// `replan` horizon advance per window, seconds.
+    pub step_s: u64,
     /// Worker threads for parallel work (grids, benches, and the
     /// intra-run MWIS/offline substrates). `None` defers to the
     /// `SPINDOWN_JOBS` environment variable (see
@@ -219,6 +230,8 @@ impl Default for Cli {
             beta: 100.0,
             interval_ms: 100,
             seed: 42,
+            window_s: 60,
+            step_s: 10,
             jobs: None,
             iters: 5,
             warmup: 1,
@@ -270,6 +283,7 @@ impl Cli {
             Some("simulate") => Command::Simulate,
             Some("compare") => Command::Compare,
             Some("stats") => Command::Stats,
+            Some("replan") => Command::Replan,
             Some("bench") => Command::Bench,
             Some(other) => return Err(ParseError::UnknownCommand(other.into())),
             None => return Err(ParseError::MissingCommand),
@@ -333,6 +347,18 @@ impl Cli {
                     cli.interval_ms = parse_num(&value("--interval-ms")?, "--interval-ms")?
                 }
                 "--seed" => cli.seed = parse_num(&value("--seed")?, "--seed")?,
+                "--window-s" => {
+                    cli.window_s = parse_num(&value("--window-s")?, "--window-s")?;
+                    if cli.window_s == 0 {
+                        return Err(ParseError::BadValue("--window-s".into()));
+                    }
+                }
+                "--step-s" => {
+                    cli.step_s = parse_num(&value("--step-s")?, "--step-s")?;
+                    if cli.step_s == 0 {
+                        return Err(ParseError::BadValue("--step-s".into()));
+                    }
+                }
                 "--jobs" | "-j" => {
                     let jobs: usize = parse_num(&value("--jobs")?, "--jobs")?;
                     if jobs == 0 {
@@ -497,6 +523,26 @@ mod tests {
         assert_eq!(
             Cli::parse(&argv("bench --iters 0")),
             Err(ParseError::BadValue("--iters".into()))
+        );
+    }
+
+    #[test]
+    fn parses_replan_flags() {
+        let cli = Cli::parse(&argv("replan --window-s 120 --step-s 15 -j 4")).unwrap();
+        assert_eq!(cli.command, Command::Replan);
+        assert_eq!(cli.window_s, 120);
+        assert_eq!(cli.step_s, 15);
+        assert_eq!(cli.jobs, Some(4));
+        let defaults = Cli::parse(&argv("replan")).unwrap();
+        assert_eq!(defaults.window_s, 60);
+        assert_eq!(defaults.step_s, 10);
+        assert_eq!(
+            Cli::parse(&argv("replan --window-s 0")),
+            Err(ParseError::BadValue("--window-s".into()))
+        );
+        assert_eq!(
+            Cli::parse(&argv("replan --step-s 0")),
+            Err(ParseError::BadValue("--step-s".into()))
         );
     }
 

@@ -14,13 +14,15 @@ use std::path::PathBuf;
 
 use spindown_core::cost::CostFunction;
 use spindown_core::experiment::{
-    build_scheduler, requests_from_trace, run_always_on_baseline, run_experiment_with_jobs,
-    scan_stream, ExperimentSpec,
+    build_scheduler, data_space, requests_from_trace, run_always_on_baseline,
+    run_experiment_with_jobs, scan_stream, ExperimentSpec, SchedulerKind,
 };
 use spindown_core::metrics::RunMetrics;
 use spindown_core::model::Request;
 use spindown_core::placement::{PlacementConfig, PlacementMap};
+use spindown_core::sched::{MwisPlanner, WindowedPlanner};
 use spindown_core::system::{run_system_streamed, PolicyKind, SystemConfig};
+use spindown_sim::time::SimDuration;
 use spindown_trace::record::{Trace, TraceRecord};
 use spindown_trace::spc::SpcStream;
 use spindown_trace::srt::SrtStream;
@@ -72,6 +74,7 @@ pub fn execute(cli: &Cli) -> Result<String, CommandError> {
         Command::Stats => stats_report(&workload),
         Command::Simulate => simulate_command(cli, &workload),
         Command::Compare => compare_command(cli, &workload),
+        Command::Replan => replan_command(cli, &workload),
         Command::Bench => unreachable!("handled above"),
     }
 }
@@ -269,6 +272,119 @@ fn compare_command(cli: &Cli, workload: &Workload) -> Result<String, CommandErro
     if skipped > 0 {
         let _ = write!(s, "\n(skipped {skipped} malformed trace lines)");
     }
+    Ok(s)
+}
+
+/// Streams the workload through the rolling-horizon incremental
+/// re-planner: every `--step-s` seconds of trace time the horizon
+/// advances, retiring expired requests and admitting the new arrivals,
+/// and the delta-maintained window is re-planned. The report carries a
+/// FNV-1a digest over every per-window assignment and claimed-saving
+/// bit pattern, so two runs are byte-comparable end to end — the CI
+/// determinism job diffs `--jobs 1` against `--jobs 8` outputs.
+fn replan_command(cli: &Cli, workload: &Workload) -> Result<String, CommandError> {
+    let (trace, skipped) = materialize(workload)?;
+    let requests = requests_from_trace(&trace);
+    let spec = spec(cli, SchedulerArg::Mwis);
+    let placement = PlacementMap::build(data_space(&requests), &spec.placement, spec.seed);
+    let SchedulerKind::Mwis {
+        solver,
+        max_successors,
+    } = spec.scheduler
+    else {
+        unreachable!("replan always builds the MWIS kind");
+    };
+    let planner = MwisPlanner {
+        params: spec.system.power.clone(),
+        solver,
+        max_successors,
+    };
+    let jobs = cli.effective_jobs();
+    let mut w = WindowedPlanner::new(planner, cli.disks);
+
+    // FNV-1a over (window, position, disk) triples and the claimed
+    // saving's bit pattern: any divergence in any window's plan flips
+    // the digest.
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut digest = FNV_OFFSET;
+    let fold = |digest: &mut u64, v: u64| {
+        for byte in v.to_le_bytes() {
+            *digest ^= u64::from(byte);
+            *digest = digest.wrapping_mul(FNV_PRIME);
+        }
+    };
+
+    let t0 = requests.first().map(|r| r.at).unwrap_or_default();
+    let end = requests.last().map(|r| r.at).unwrap_or_default();
+    let span_s = requests.last().map(|r| r.at.as_secs_f64()).unwrap_or(0.0);
+    let mut fed = 0usize;
+    let mut total_saving = 0.0f64;
+    let mut peak_window = 0usize;
+    let mut i = 0u64;
+    // Slide until every request has been fed AND the horizon has
+    // drained the final window.
+    while !requests.is_empty() {
+        i += 1;
+        let elapsed = i * cli.step_s;
+        let frontier = t0 + SimDuration::from_secs(elapsed);
+        let horizon = t0 + SimDuration::from_secs(elapsed.saturating_sub(cli.window_s));
+        let feed_to = requests.partition_point(|r| r.at < frontier);
+        let (assignment, saving) =
+            w.advance_with_jobs(&requests[fed..feed_to], horizon, &placement, jobs);
+        fed = feed_to;
+        total_saving += saving;
+        peak_window = peak_window.max(w.window().len());
+        fold(&mut digest, i);
+        fold(&mut digest, saving.to_bits());
+        for (pos, d) in assignment.disks.iter().enumerate() {
+            fold(&mut digest, (pos as u64) << 32 | u64::from(d.0));
+        }
+        if fed >= requests.len() && horizon > end {
+            break;
+        }
+    }
+    let stats = *w.stats();
+
+    let mut s = String::new();
+    let _ = writeln!(s, "rolling-horizon replan report");
+    let _ = writeln!(s, "=============================");
+    let _ = writeln!(s, "workload : {} reads over {span_s:.0} s", requests.len());
+    if skipped > 0 {
+        let _ = writeln!(s, "skipped  : {skipped} malformed trace lines");
+    }
+    let _ = writeln!(
+        s,
+        "system   : {} disks, replication {}, zipf {}",
+        cli.disks, cli.replication, cli.zipf
+    );
+    let _ = writeln!(
+        s,
+        "horizon  : {} s window, {} s step",
+        cli.window_s, cli.step_s
+    );
+    let _ = writeln!(s);
+    let _ = writeln!(
+        s,
+        "windows planned     : {} ({} compactions)",
+        stats.windows, stats.compactions
+    );
+    let _ = writeln!(
+        s,
+        "requests retired    : {} ({} arrived)",
+        stats.retired_requests_total, stats.arrived_requests_total
+    );
+    let _ = writeln!(
+        s,
+        "graph delta totals  : {} nodes tombstoned, {} appended, {} edges staged",
+        stats.retired_nodes_total, stats.appended_nodes_total, stats.staged_edges_total
+    );
+    let _ = writeln!(s, "peak window         : {peak_window} requests");
+    let _ = writeln!(
+        s,
+        "claimed saving      : {total_saving:.3} J summed over windows"
+    );
+    let _ = write!(s, "plan digest         : {digest:016x}");
     Ok(s)
 }
 
@@ -473,6 +589,27 @@ mod tests {
         ] {
             assert!(report.contains(label), "missing {label}");
         }
+    }
+
+    #[test]
+    fn replan_synthetic_and_trace_file() {
+        let mut cli = small_cli("--window-s 30 --step-s 10");
+        cli.command = Command::Replan;
+        let report = execute(&cli).unwrap();
+        assert!(report.contains("rolling-horizon replan report"), "{report}");
+        assert!(report.contains("windows planned"), "{report}");
+        assert!(report.contains("plan digest"), "{report}");
+        // Deterministic: the digest line is identical across runs.
+        assert_eq!(report, execute(&cli).unwrap());
+
+        let dir = std::env::temp_dir().join("spindown-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replan.spc");
+        std::fs::write(&path, "0,1024,4096,r,0.5\n0,2048,4096,r,30.0\n").unwrap();
+        cli.source = SourceArg::TraceFile(path.clone());
+        let report = execute(&cli).unwrap();
+        assert!(report.contains("workload : 2 reads"), "{report}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -77,6 +77,51 @@ fn bad_trace_file_exits_one() {
 }
 
 #[test]
+fn replan_synthetic_workload() {
+    let out = bin()
+        .args([
+            "replan",
+            "--requests",
+            "500",
+            "--data-items",
+            "200",
+            "--disks",
+            "8",
+            "--rate",
+            "4",
+            "--window-s",
+            "30",
+            "--step-s",
+            "10",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("rolling-horizon replan report"), "{text}");
+    assert!(text.contains("windows planned"), "{text}");
+    assert!(text.contains("plan digest"), "{text}");
+}
+
+#[test]
+fn replan_output_is_jobs_invariant() {
+    // The CI determinism job byte-diffs larger runs; this pins the same
+    // contract in-tree on a small one.
+    let run = |jobs: &str| {
+        let out = bin()
+            .args([
+                "replan", "--requests", "400", "--data-items", "150", "--disks", "8", "--rate",
+                "5", "--seed", "7", "--jobs", jobs,
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    assert_eq!(run("1"), run("8"));
+}
+
+#[test]
 fn determinism_across_invocations() {
     let run = || {
         let out = bin()

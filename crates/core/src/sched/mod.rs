@@ -23,7 +23,7 @@ mod wsc;
 
 pub use heuristic::HeuristicScheduler;
 pub use load_aware::LoadAwareScheduler;
-pub use mwis::{MwisPlanner, MwisSolver};
+pub use mwis::{MwisPlanner, MwisSolver, PlanScratch, ReplanStats, WindowedPlanner};
 pub use random::RandomScheduler;
 pub use static_::StaticScheduler;
 pub use wsc::WscScheduler;

@@ -26,8 +26,10 @@
 
 use spindown_disk::power::PowerParams;
 use spindown_sim::pool;
+use spindown_sim::time::SimTime;
 
 use spindown_graph::csr::CsrGraph;
+use spindown_graph::delta::DeltaGraph;
 use spindown_graph::graph::{Graph, GraphView, NodeId};
 use spindown_graph::mwis as solvers;
 
@@ -111,6 +113,22 @@ impl PlanScratch {
         PlanScratch::default()
     }
 }
+
+/// Minimum build size — candidate-pair units, `requests ×
+/// max_successors` — below which [`MwisPlanner::build_graph_with_jobs`]
+/// stays serial regardless of the requested worker count.
+///
+/// Sharding a build costs two pool spawns (Step 1 disk ranges, Step 2
+/// bucket ranges) plus the shard merges; on builds enumerating fewer
+/// than ~2 k candidate pairs the whole serial build finishes in tens of
+/// microseconds, below the spawn overhead alone, which is how
+/// `graph_build_parallel_speedup` regressed under 1.0 on few-core hosts.
+/// This mirrors the offline evaluator's
+/// [`MIN_PARALLEL_WORK`](crate::offline::MIN_PARALLEL_WORK) guard; the
+/// value is recorded in DESIGN.md §12. The parallel-determinism suite's
+/// instances all enumerate ≥ 2 400 candidate pairs, so the sharded path
+/// stays genuinely exercised.
+pub const MIN_PARALLEL_BUILD_WORK: usize = 1 << 11;
 
 /// The offline scheduler.
 #[derive(Debug, Clone)]
@@ -370,7 +388,9 @@ impl MwisPlanner {
     /// no intermediate merge or builder replay.
     /// ([`GraphBuilder::merge_edge_shards`](spindown_graph::graph::GraphBuilder::merge_edge_shards)
     /// remains the replay-based oracle for that equivalence.) `jobs <= 1`
-    /// takes the serial path and spawns nothing.
+    /// takes the serial path and spawns nothing, as do builds smaller
+    /// than [`MIN_PARALLEL_BUILD_WORK`] candidate pairs — too little
+    /// work to amortize the pool spawns.
     ///
     /// # Panics
     ///
@@ -381,7 +401,8 @@ impl MwisPlanner {
         placement: &dyn LocationProvider,
         jobs: usize,
     ) -> ConflictGraph {
-        if jobs <= 1 {
+        let work = requests.len().saturating_mul(self.max_successors);
+        if jobs <= 1 || work < MIN_PARALLEL_BUILD_WORK {
             return self.build_graph(requests, placement);
         }
         let (weights, nodes, touching) = self.step1_nodes_sharded(requests, placement, jobs);
@@ -459,19 +480,27 @@ impl MwisPlanner {
     /// carries no state between solves — results are identical to a
     /// fresh [`solve`](MwisPlanner::solve) call.
     pub fn solve_into<G: GraphView>(&self, cg: &ConflictGraphOn<G>, scratch: &mut PlanScratch) {
+        self.solve_view_into(&cg.graph, scratch);
+    }
+
+    /// [`solve_into`](MwisPlanner::solve_into) on a bare graph view —
+    /// the entry point for callers that hold the graph and its node
+    /// metadata separately, like the rolling-horizon
+    /// [`WindowedPlanner`] solving the compacted window graph in place.
+    pub fn solve_view_into<G: GraphView>(&self, graph: &G, scratch: &mut PlanScratch) {
         let PlanScratch { greedy, selected } = scratch;
         match self.solver {
-            MwisSolver::GwMin => solvers::gwmin_into(&cg.graph, greedy, selected),
-            MwisSolver::GwMin2 => solvers::gwmin2_into(&cg.graph, greedy, selected),
+            MwisSolver::GwMin => solvers::gwmin_into(graph, greedy, selected),
+            MwisSolver::GwMin2 => solvers::gwmin2_into(graph, greedy, selected),
             MwisSolver::GwMinLocalSearch => {
-                solvers::gwmin_into(&cg.graph, greedy, selected);
-                *selected = solvers::local_search(&cg.graph, selected);
+                solvers::gwmin_into(graph, greedy, selected);
+                *selected = solvers::local_search(graph, selected);
             }
-            MwisSolver::Exact { node_limit } => match solvers::exact(&cg.graph, node_limit) {
+            MwisSolver::Exact { node_limit } => match solvers::exact(graph, node_limit) {
                 Some(sel) => *selected = sel,
-                None => solvers::gwmin_into(&cg.graph, greedy, selected),
+                None => solvers::gwmin_into(graph, greedy, selected),
             },
-            MwisSolver::GwMinRefined { .. } => solvers::gwmin_into(&cg.graph, greedy, selected),
+            MwisSolver::GwMinRefined { .. } => solvers::gwmin_into(graph, greedy, selected),
         }
     }
 
@@ -513,14 +542,31 @@ impl MwisPlanner {
     ) -> (Assignment, f64) {
         let cg = self.build_graph_with_jobs(requests, placement, jobs);
         self.solve_into(&cg, scratch);
-        let selected = &scratch.selected;
-        let claimed: f64 = selected.iter().map(|&v| cg.graph.weight(v)).sum();
+        self.derive_plan(requests, placement, &cg.graph, &cg.nodes, &scratch.selected)
+    }
+
+    /// Step 4 plus the claimed-saving sum, shared verbatim by
+    /// [`plan_with_scratch`](MwisPlanner::plan_with_scratch) and the
+    /// rolling-horizon [`WindowedPlanner`]: walks `selected` in id order
+    /// (fixing the float-accumulation order of the claimed saving), pins
+    /// each selected node's request pair, and routes leftovers to their
+    /// most-recently-used replica — so any two callers handing in the
+    /// same graph, node table, and selection derive bit-identical plans.
+    pub fn derive_plan<G: GraphView>(
+        &self,
+        requests: &[Request],
+        placement: &dyn LocationProvider,
+        graph: &G,
+        nodes: &[(u32, u32, DiskId)],
+        selected: &[NodeId],
+    ) -> (Assignment, f64) {
+        let claimed: f64 = selected.iter().map(|&v| graph.weight(v)).sum();
 
         // Step 4: pin requests named by selected nodes.
         let mut assignment = Assignment::with_len(requests.len());
         let mut pinned = vec![false; requests.len()];
         for &v in selected {
-            let (i, j, k) = cg.nodes[v as usize];
+            let (i, j, k) = nodes[v as usize];
             for r in [i, j] {
                 let r = r as usize;
                 debug_assert!(
@@ -567,6 +613,555 @@ impl MwisPlanner {
             );
         }
         (assignment, claimed)
+    }
+}
+
+/// Counters kept by [`WindowedPlanner`]: cumulative delta sizes across
+/// every [`advance`](WindowedPlanner::advance) plus gauges describing
+/// the most recent window. The ratio of `appended_nodes_total` to
+/// `graph_nodes × windows` is the turnover the incremental path paid
+/// for, versus the full rebuild a from-scratch planner would have run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReplanStats {
+    /// Windows planned so far (every `advance` call).
+    pub windows: u64,
+    /// Advances that flattened a non-empty delta back to flat CSR;
+    /// empty-delta advances skip compaction and re-solve the base.
+    pub compactions: u64,
+    /// Requests retired across all advances.
+    pub retired_requests_total: u64,
+    /// Requests arrived across all advances.
+    pub arrived_requests_total: u64,
+    /// Conflict-graph nodes tombstoned across all advances.
+    pub retired_nodes_total: u64,
+    /// Conflict-graph nodes appended across all advances.
+    pub appended_nodes_total: u64,
+    /// Conflict edges staged through the overlay across all advances.
+    pub staged_edges_total: u64,
+    /// Requests in the current window.
+    pub window_requests: usize,
+    /// Nodes in the current window's conflict graph.
+    pub graph_nodes: usize,
+    /// Edges in the current window's conflict graph.
+    pub graph_edges: usize,
+}
+
+/// High bit of a bucket entry's packed disk word: set on nodes appended
+/// by the in-flight advance, cleared on survivors. Valid only within one
+/// advance — buckets are rebuilt (and the flag reset) every window.
+const NEW_BIT: u32 = 1 << 31;
+
+/// Rolling-horizon incremental re-planner (ROADMAP; the paper's WSC
+/// batch mode run as a sliding window).
+///
+/// Holds one planning window of requests and its conflict graph, and
+/// [`advance`](WindowedPlanner::advance)s the window by retiring
+/// everything before a new horizon and admitting a batch of arrivals.
+/// Instead of re-running Steps 1–2 over the whole window, an advance
+/// computes the **delta**:
+///
+/// * retired requests tombstone their nodes in a [`DeltaGraph`] overlay
+///   over the previous window's CSR graph;
+/// * arriving requests extend the per-disk lists, and only the *resume
+///   region* — the last `max_successors` surviving positions of each
+///   disk, the only ones whose successor enumeration can grow — is
+///   re-run through the shared Step 1 helper
+///   (`MwisPlanner::step1_disk`), appending the genuinely new nodes;
+/// * only request buckets touched by a new node are re-scanned through
+///   the shared Step 2 helper (`step2_bucket`), staging exactly the
+///   conflict edges that involve a new node.
+///
+/// The overlay is then compacted back to flat CSR under the canonical
+/// disk-major emission order — the same id sequence a from-scratch
+/// [`MwisPlanner::build_graph`] over the new window produces — so the
+/// compacted graph is **bit-identical** to the full rebuild, and the
+/// warm-scratch solve plus shared Step 4 derivation
+/// ([`MwisPlanner::derive_plan`]) yield the bit-identical plan. The
+/// from-scratch path is retained as the per-window oracle, pinned by
+/// `core/tests/window_replan_differential.rs`.
+///
+/// Solves run out of one [`PlanScratch`] warmed on the first window:
+/// later windows of no greater size allocate nothing in the greedy
+/// engine (the `window_replan_allocs_per_solve` gauge in the bench
+/// harness pins zero).
+pub struct WindowedPlanner {
+    planner: MwisPlanner,
+    disks: u32,
+    /// Current window, time-sorted, `index == position`.
+    requests: Vec<Request>,
+    /// Per-disk time-ordered request ids over the current window.
+    per_disk: Vec<Vec<u32>>,
+    /// Canonical `(i, j, k)` per node of the current window's graph.
+    nodes: Vec<(u32, u32, DiskId)>,
+    /// Per-request buckets of touching nodes, in emission order, split
+    /// by the role the request plays: `bucket_i[r]` holds nodes whose
+    /// *earlier* request is `r`, `bucket_j[r]` those whose *later*
+    /// request is `r`. Each entry packs the node id with its disk (and,
+    /// during an advance, a new-node flag in [`NEW_BIT`]) so the Step 2
+    /// delta scan reads buckets sequentially with no node-table gathers.
+    bucket_i: Vec<Vec<(NodeId, u32)>>,
+    bucket_j: Vec<Vec<(NodeId, u32)>>,
+    /// Overlay whose base is the current window's canonical CSR graph.
+    delta: DeltaGraph,
+    scratch: PlanScratch,
+    /// Retired CSR arenas recycled into the next compaction.
+    csr_buffers: (Vec<f64>, Vec<u32>, Vec<NodeId>),
+    stats: ReplanStats,
+}
+
+impl WindowedPlanner {
+    /// An empty window over a fleet of `disks` disks. The first
+    /// [`advance`](WindowedPlanner::advance) loads the first window.
+    pub fn new(planner: MwisPlanner, disks: u32) -> Self {
+        WindowedPlanner {
+            planner,
+            disks,
+            requests: Vec::new(),
+            per_disk: vec![Vec::new(); disks as usize],
+            nodes: Vec::new(),
+            bucket_i: Vec::new(),
+            bucket_j: Vec::new(),
+            delta: DeltaGraph::new(CsrGraph::default()),
+            scratch: PlanScratch::new(),
+            csr_buffers: (Vec::new(), Vec::new(), Vec::new()),
+            stats: ReplanStats::default(),
+        }
+    }
+
+    /// The inner planner (power model, solver, pruning fan-out).
+    pub fn planner(&self) -> &MwisPlanner {
+        &self.planner
+    }
+
+    /// The current window's requests (window-relative ids).
+    pub fn window(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// The current window's conflict graph (canonical CSR).
+    pub fn graph(&self) -> &CsrGraph {
+        self.delta.base()
+    }
+
+    /// The current window's node table (`(i, j, k)` per graph node).
+    pub fn node_table(&self) -> &[(u32, u32, DiskId)] {
+        &self.nodes
+    }
+
+    /// Counters across all advances plus current-window gauges.
+    pub fn stats(&self) -> &ReplanStats {
+        &self.stats
+    }
+
+    /// Slides the window: retires every request with `at <
+    /// expired_horizon`, admits `arrivals` at the tail, maintains the
+    /// conflict graph by delta, and plans the new window. Returns the
+    /// plan — assignment indexed by the new window's request positions
+    /// ([`window`](WindowedPlanner::window)) plus the claimed saving —
+    /// bit-identical to `MwisPlanner::plan` over the same window.
+    ///
+    /// `placement` must be the same provider on every call (placements
+    /// are keyed by data id, so it is window-independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arrivals` are not time-sorted, start before the
+    /// surviving window tail, or `placement` disagrees with the
+    /// configured disk count.
+    pub fn advance(
+        &mut self,
+        arrivals: &[Request],
+        expired_horizon: SimTime,
+        placement: &dyn LocationProvider,
+    ) -> (Assignment, f64) {
+        self.advance_with_jobs(arrivals, expired_horizon, placement, 1)
+    }
+
+    /// [`advance`](WindowedPlanner::advance) with an explicit worker
+    /// count. Only the cold start benefits: loading a first window into
+    /// an empty planner is a full from-scratch build, so it goes through
+    /// the sharded [`MwisPlanner::build_graph_with_jobs`] path
+    /// (bit-identical for any count). Warm advances are delta-sized and
+    /// inherently serial — `jobs` is ignored there.
+    pub fn advance_with_jobs(
+        &mut self,
+        arrivals: &[Request],
+        expired_horizon: SimTime,
+        placement: &dyn LocationProvider,
+        jobs: usize,
+    ) -> (Assignment, f64) {
+        self.advance_window_with_jobs(arrivals, expired_horizon, placement, jobs);
+        self.plan_current(placement)
+    }
+
+    /// The maintenance half of [`advance`](WindowedPlanner::advance):
+    /// slides the window and delta-maintains the canonical conflict
+    /// graph without solving it. Callers that only need the graph (or
+    /// want to time maintenance apart from the solve) pair this with
+    /// [`plan_current`](WindowedPlanner::plan_current).
+    pub fn advance_window(
+        &mut self,
+        arrivals: &[Request],
+        expired_horizon: SimTime,
+        placement: &dyn LocationProvider,
+    ) {
+        self.advance_window_with_jobs(arrivals, expired_horizon, placement, 1)
+    }
+
+    /// [`advance_window`](WindowedPlanner::advance_window) with an
+    /// explicit worker count for the cold-start build (see
+    /// [`advance_with_jobs`](WindowedPlanner::advance_with_jobs)).
+    pub fn advance_window_with_jobs(
+        &mut self,
+        arrivals: &[Request],
+        expired_horizon: SimTime,
+        placement: &dyn LocationProvider,
+        jobs: usize,
+    ) {
+        assert_eq!(
+            placement.disks(),
+            self.disks,
+            "placement disk count changed between advances"
+        );
+        assert!(
+            arrivals.windows(2).all(|w| w[0].at <= w[1].at),
+            "arrivals must be time-sorted"
+        );
+        let retired = self.requests.partition_point(|r| r.at < expired_horizon);
+        if let (Some(last), Some(first)) = (self.requests.last(), arrivals.first()) {
+            assert!(
+                first.at >= last.at,
+                "arrivals must not precede the window tail"
+            );
+        }
+        let survivors = self.requests.len() - retired;
+
+        self.stats.windows += 1;
+        self.stats.retired_requests_total += retired as u64;
+        self.stats.arrived_requests_total += arrivals.len() as u64;
+
+        if retired == 0 && arrivals.is_empty() {
+            // Empty delta: the window and its graph are unchanged — skip
+            // maintenance and compaction entirely.
+            return;
+        }
+
+        if self.requests.is_empty() {
+            // Cold start: every request is an arrival and the delta *is*
+            // the whole window, so run the from-scratch sharded build
+            // directly. Counters mirror the delta path exactly (all
+            // nodes appended, all edges staged, one flatten to
+            // canonical CSR), keeping stats invariant in `jobs`.
+            let reqs: Vec<Request> = arrivals
+                .iter()
+                .enumerate()
+                .map(|(p, r)| Request {
+                    index: p as u32,
+                    ..*r
+                })
+                .collect();
+            let cg = self.planner.build_graph_with_jobs(&reqs, placement, jobs);
+            self.stats.appended_nodes_total += cg.nodes.len() as u64;
+            self.stats.staged_edges_total += cg.graph.edge_count() as u64;
+            self.stats.compactions += 1;
+            for list in &mut self.per_disk {
+                list.clear();
+            }
+            for r in &reqs {
+                for d in placement.locations(r.data) {
+                    self.per_disk[d.index()].push(r.index);
+                }
+            }
+            // Buckets are reconstructed from the node table: canonical
+            // emission pushes each node into its two request buckets in
+            // increasing id order, so an id-order sweep reproduces them.
+            let (mut bucket_i, mut bucket_j) =
+                (std::mem::take(&mut self.bucket_i), std::mem::take(&mut self.bucket_j));
+            for bucket in bucket_i.iter_mut().chain(bucket_j.iter_mut()) {
+                bucket.clear();
+            }
+            bucket_i.resize_with(reqs.len(), Vec::new);
+            bucket_j.resize_with(reqs.len(), Vec::new);
+            for (id, &(i, j, k)) in cg.nodes.iter().enumerate() {
+                bucket_i[i as usize].push((id as NodeId, k.0));
+                bucket_j[j as usize].push((id as NodeId, k.0));
+            }
+            self.bucket_i = bucket_i;
+            self.bucket_j = bucket_j;
+            self.delta = DeltaGraph::new(cg.graph);
+            self.nodes = cg.nodes;
+            self.requests = reqs;
+            self.refresh_gauges();
+            return;
+        }
+
+        // ---- Request bookkeeping: rebase survivors, admit arrivals ----
+        let mut reqs: Vec<Request> = Vec::with_capacity(survivors + arrivals.len());
+        for (p, r) in self.requests[retired..].iter().enumerate() {
+            reqs.push(Request {
+                index: p as u32,
+                ..*r
+            });
+        }
+        for (p, r) in arrivals.iter().enumerate() {
+            reqs.push(Request {
+                index: (survivors + p) as u32,
+                ..*r
+            });
+        }
+
+        // Per-disk lists: retired ids are a prefix of every list (lists
+        // are time-ordered and retirement is a time prefix); drop it,
+        // rebase the survivors, and append the arrivals. `s_k` records
+        // each list's survivor count — the boundary of the resume
+        // region below.
+        let mut survivors_per_disk: Vec<u32> = Vec::with_capacity(self.per_disk.len());
+        for list in &mut self.per_disk {
+            let cut = list.partition_point(|&i| (i as usize) < retired);
+            list.drain(..cut);
+            for i in list.iter_mut() {
+                *i -= retired as u32;
+            }
+            survivors_per_disk.push(list.len() as u32);
+        }
+        for r in &reqs[survivors..] {
+            for d in placement.locations(r.data) {
+                self.per_disk[d.index()].push(r.index);
+            }
+        }
+
+        // ---- Tombstone retired nodes ----
+        // A node retires iff its *earlier* request does (i < j, and the
+        // retired set is a time prefix), so the victims are exactly the
+        // nodes whose `i` retired — a prefix of each disk's run.
+        let old_nodes = std::mem::take(&mut self.nodes);
+        let mut victims: Vec<NodeId> = Vec::new();
+        for (id, &(i, _, _)) in old_nodes.iter().enumerate() {
+            if (i as usize) < retired {
+                victims.push(id as NodeId);
+            }
+        }
+        // Deferred form: the victims' entries linger in surviving
+        // adjacency lists (we never read overlay adjacency — the next
+        // compaction filters them), skipping an `O(E)` copy-on-write
+        // purge across nearly every survivor list.
+        self.delta.tombstone_batch_deferred(&victims);
+        self.stats.retired_nodes_total += victims.len() as u64;
+
+        // ---- Step 1 delta: re-enumerate each disk's resume region ----
+        // Only the last `max_successors` surviving positions can gain
+        // successors (anything earlier already had a full fan-out or
+        // broke on the saving window), plus every arrival position.
+        // Re-running the shared Step 1 helper over that suffix
+        // reproduces the from-scratch emission for those positions:
+        // pairs among survivors are the nodes we already hold (consumed
+        // 1:1 below), pairs with an arrival are genuinely new.
+        let model = SavingModel::new(&self.planner.params);
+        let ms = self.planner.max_successors;
+        let mut tmp_weights: Vec<f64> = Vec::new();
+        let mut tmp_nodes: Vec<(u32, u32, DiskId)> = Vec::new();
+        let mut tmp_bounds: Vec<usize> = Vec::with_capacity(self.per_disk.len() + 1);
+        tmp_bounds.push(0);
+        for (k, list) in self.per_disk.iter().enumerate() {
+            let resume = (survivors_per_disk[k] as usize).saturating_sub(ms);
+            MwisPlanner::step1_disk(
+                &model,
+                &reqs,
+                ms,
+                k,
+                &list[resume..],
+                &mut tmp_weights,
+                &mut tmp_nodes,
+                &mut |_, _| {},
+            );
+            tmp_bounds.push(tmp_nodes.len());
+        }
+
+        // ---- Canonical walk: rebuild the id order, interleaving ----
+        // From-scratch ids follow disk-major emission: per disk, nodes
+        // grouped by the position of `i`, arrivals extending a survivor
+        // group right after its surviving pairs. Surviving nodes keep
+        // their relative order, so the overlay→canonical map is built in
+        // one pass that merges each disk's surviving run with its resume
+        // re-emission.
+        let mut nodes_new: Vec<(u32, u32, DiskId)> =
+            Vec::with_capacity(old_nodes.len() - victims.len() + tmp_nodes.len());
+        let mut order: Vec<NodeId> = Vec::with_capacity(nodes_new.capacity());
+        let (mut bucket_i, mut bucket_j) =
+            (std::mem::take(&mut self.bucket_i), std::mem::take(&mut self.bucket_j));
+        for bucket in bucket_i.iter_mut().chain(bucket_j.iter_mut()) {
+            bucket.clear();
+        }
+        bucket_i.resize_with(reqs.len(), Vec::new);
+        bucket_j.resize_with(reqs.len(), Vec::new);
+        // One `(request, bucket position)` record per bucket entry of
+        // each *new* node — the seeds of the Step 2 delta scan below,
+        // one list per bucket family.
+        let mut new_entries_i: Vec<(u32, u32)> = Vec::new();
+        let mut new_entries_j: Vec<(u32, u32)> = Vec::new();
+
+        let mut op = 0usize; // cursor over `old_nodes`
+        let appended_before = self.delta.appended_count();
+        for (k, list) in self.per_disk.iter().enumerate() {
+            let dk = DiskId(k as u32);
+            // Skip this disk's tombstoned prefix.
+            while op < old_nodes.len() && old_nodes[op].2 == dk && (old_nodes[op].0 as usize) < retired
+            {
+                op += 1;
+            }
+            // First request id of the resume region (everything at or
+            // past it is re-emitted through `tmp`).
+            let resume = (survivors_per_disk[k] as usize).saturating_sub(ms);
+            let resume_req = list.get(resume).copied().unwrap_or(u32::MAX);
+            // (a) Surviving nodes whose `i` precedes the resume region.
+            while op < old_nodes.len() && old_nodes[op].2 == dk && old_nodes[op].0 - (retired as u32) < resume_req
+            {
+                let (oi, oj, _) = old_nodes[op];
+                let (i, j) = (oi - retired as u32, oj - retired as u32);
+                let id = nodes_new.len() as NodeId;
+                order.push(op as NodeId);
+                nodes_new.push((i, j, dk));
+                bucket_i[i as usize].push((id, dk.0));
+                bucket_j[j as usize].push((id, dk.0));
+                op += 1;
+            }
+            // (b) The resume region, replayed from the re-emission:
+            // survivor pairs consume their existing node, arrival pairs
+            // append a fresh overlay node.
+            for t in tmp_bounds[k]..tmp_bounds[k + 1] {
+                let (i, j, _) = tmp_nodes[t];
+                let id = nodes_new.len() as NodeId;
+                let mut flags = dk.0;
+                if (j as usize) < survivors {
+                    debug_assert!(
+                        op < old_nodes.len()
+                            && old_nodes[op].2 == dk
+                            && old_nodes[op].0 - retired as u32 == i
+                            && old_nodes[op].1 - retired as u32 == j,
+                        "resume re-emission diverged from the stored node run"
+                    );
+                    debug_assert_eq!(self.delta.base().weight(op as NodeId), tmp_weights[t]);
+                    order.push(op as NodeId);
+                    op += 1;
+                } else {
+                    let overlay = self.delta.append_node(tmp_weights[t]);
+                    order.push(overlay);
+                    flags |= NEW_BIT;
+                    // The node's bucket positions are the lengths right
+                    // before the pushes just below.
+                    new_entries_i.push((i, bucket_i[i as usize].len() as u32));
+                    new_entries_j.push((j, bucket_j[j as usize].len() as u32));
+                }
+                nodes_new.push((i, j, dk));
+                bucket_i[i as usize].push((id, flags));
+                bucket_j[j as usize].push((id, flags));
+            }
+            debug_assert!(
+                op >= old_nodes.len() || old_nodes[op].2 != dk,
+                "disk {k} left surviving nodes unconsumed"
+            );
+        }
+        debug_assert_eq!(op, old_nodes.len());
+        let appended = self.delta.appended_count() - appended_before;
+        self.stats.appended_nodes_total += appended as u64;
+
+        // ---- Step 2 delta: scan only pairs with a new endpoint ----
+        // Every new edge involves a new node, and a new node touches
+        // exactly its two request buckets, so pairing each new node
+        // against every other occupant of those buckets covers exactly
+        // the pairs Step 2 would newly consider — `O(Σ bucket × new)`
+        // instead of re-scanning whole buckets pairwise. The role split
+        // collapses the generic conflict test (`ix == iy || jx == jy ||
+        // kx != ky`): two nodes sharing their earlier request always
+        // conflict; two sharing their later request conflict too, with
+        // the pair that shares *both* requests emitted from bucket `i`
+        // only (the designated-bucket rule `step2_bucket` applies); a
+        // pred–succ pair shares exactly the scanned request and
+        // conflicts iff the disks differ. Each edge stages once: a
+        // new–new pair inside one family is claimed by its earlier
+        // position, a new–new pred–succ pair by its pred-side entry.
+        // Deferred staging puts the edge on the appended endpoint only
+        // — no copy-on-write of survivor lists; compaction synthesizes
+        // the partner half.
+        let staged_before = self.delta.staged_edge_count();
+        for &(r, p) in &new_entries_i {
+            let preds = &bucket_i[r as usize];
+            let succs = &bucket_j[r as usize];
+            let (x, xf) = preds[p as usize];
+            let ox = order[x as usize];
+            for (q, &(y, yf)) in preds.iter().enumerate() {
+                if q == p as usize || (q < p as usize && yf & NEW_BIT != 0) {
+                    continue;
+                }
+                self.delta.add_edge_deferred(ox, order[y as usize]);
+            }
+            for &(y, yf) in succs.iter() {
+                if yf & !NEW_BIT != xf & !NEW_BIT {
+                    self.delta.add_edge_deferred(ox, order[y as usize]);
+                }
+            }
+        }
+        for &(r, p) in &new_entries_j {
+            let succs = &bucket_j[r as usize];
+            let preds = &bucket_i[r as usize];
+            let (x, xf) = succs[p as usize];
+            let ox = order[x as usize];
+            let ix = nodes_new[x as usize].0;
+            for (q, &(y, yf)) in succs.iter().enumerate() {
+                if q == p as usize || (q < p as usize && yf & NEW_BIT != 0) {
+                    continue;
+                }
+                if nodes_new[y as usize].0 == ix {
+                    continue;
+                }
+                self.delta.add_edge_deferred(ox, order[y as usize]);
+            }
+            for &(y, yf) in preds.iter() {
+                if yf & NEW_BIT != 0 {
+                    continue;
+                }
+                if yf & !NEW_BIT != xf & !NEW_BIT {
+                    self.delta.add_edge_deferred(ox, order[y as usize]);
+                }
+            }
+        }
+        self.stats.staged_edges_total += (self.delta.staged_edge_count() - staged_before) as u64;
+
+        // ---- Compact back to flat CSR under the canonical order ----
+        if self.delta.is_dirty() {
+            let buffers = std::mem::take(&mut self.csr_buffers);
+            let (csr, _) = self.delta.compact_into(&order, buffers);
+            let retired_delta = std::mem::replace(&mut self.delta, DeltaGraph::new(csr));
+            self.csr_buffers = retired_delta.into_base().into_parts();
+            self.stats.compactions += 1;
+        }
+        self.nodes = nodes_new;
+        self.bucket_i = bucket_i;
+        self.bucket_j = bucket_j;
+        self.requests = reqs;
+        self.refresh_gauges();
+    }
+
+    fn refresh_gauges(&mut self) {
+        self.stats.window_requests = self.requests.len();
+        self.stats.graph_nodes = self.delta.base().len();
+        self.stats.graph_edges = self.delta.base().edge_count();
+    }
+
+    /// Warm-scratch solve + shared Step 4 derivation over the current
+    /// window's canonical graph. [`advance`](WindowedPlanner::advance)
+    /// is [`advance_window`](WindowedPlanner::advance_window) followed
+    /// by this.
+    pub fn plan_current(&mut self, placement: &dyn LocationProvider) -> (Assignment, f64) {
+        let graph = self.delta.base();
+        self.planner.solve_view_into(graph, &mut self.scratch);
+        self.planner.derive_plan(
+            &self.requests,
+            placement,
+            graph,
+            &self.nodes,
+            &self.scratch.selected,
+        )
     }
 }
 
@@ -817,6 +1412,130 @@ mod tests {
         let (a, saving) = p.plan(&[], &placement);
         assert!(a.is_empty());
         assert_eq!(saving, 0.0);
+    }
+
+    /// Rebases a window slice so `index == position`, the shape both
+    /// `MwisPlanner::plan` and `WindowedPlanner` windows use.
+    fn rebase(window: &[Request]) -> Vec<Request> {
+        window
+            .iter()
+            .enumerate()
+            .map(|(p, r)| Request {
+                index: p as u32,
+                ..*r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn windowed_advance_matches_from_scratch_on_paper_instance() {
+        let (reqs, placement) = paper_instance();
+        for solver in [MwisSolver::GwMin, MwisSolver::GwMin2] {
+            let p = planner(solver);
+            let mut w = WindowedPlanner::new(p.clone(), 4);
+            // Load the full instance, then slide the horizon forward one
+            // request at a time with no arrivals.
+            let horizons: Vec<(usize, u64)> =
+                vec![(6, 0), (6, 1), (6, 2), (6, 4), (6, 6), (6, 13), (6, 14)];
+            let mut fed = 0usize;
+            for (feed_to, h) in horizons {
+                let arrivals = rebase(&reqs[fed..feed_to]);
+                fed = feed_to;
+                let (got_a, got_s) =
+                    w.advance(&arrivals, SimTime::from_secs(h), &placement);
+                let window = rebase(&reqs[reqs.iter().filter(|r| r.at < SimTime::from_secs(h)).count()..]);
+                let (want_a, want_s) = p.plan(&window, &placement);
+                assert_eq!(got_a.disks, want_a.disks, "{solver:?} horizon {h}");
+                assert_eq!(got_s, want_s, "{solver:?} horizon {h}");
+                assert_eq!(w.window(), &window[..], "{solver:?} horizon {h}");
+                // The maintained graph is the canonical from-scratch one.
+                let oracle = p.build_graph(&window, &placement);
+                assert_eq!(w.graph(), &oracle.graph, "{solver:?} horizon {h}");
+                assert_eq!(w.node_table(), &oracle.nodes[..], "{solver:?} horizon {h}");
+            }
+            assert_eq!(w.stats().windows, 7);
+            assert!(w.stats().retired_requests_total == 6);
+        }
+    }
+
+    #[test]
+    fn windowed_empty_delta_skips_compaction() {
+        let (reqs, placement) = paper_instance();
+        let p = planner(MwisSolver::GwMin);
+        let mut w = WindowedPlanner::new(p.clone(), 4);
+        let first = w.advance(&reqs, SimTime::from_secs(0), &placement);
+        let compactions = w.stats().compactions;
+        let again = w.advance(&[], SimTime::from_secs(0), &placement);
+        assert_eq!(first, again, "empty delta re-solves the same window");
+        assert_eq!(w.stats().compactions, compactions, "no compaction paid");
+        assert_eq!(w.stats().windows, 2);
+    }
+
+    #[test]
+    fn windowed_full_turnover_matches_fresh_window() {
+        let (reqs, placement) = paper_instance();
+        let p = planner(MwisSolver::GwMin);
+        let mut w = WindowedPlanner::new(p.clone(), 4);
+        w.advance(&reqs, SimTime::from_secs(0), &placement);
+        // Retire everything, admit a shifted copy of the whole instance.
+        let shifted: Vec<Request> = reqs
+            .iter()
+            .map(|r| Request {
+                at: r.at + spindown_sim::time::SimDuration::from_secs(100),
+                ..*r
+            })
+            .collect();
+        let (got_a, got_s) = w.advance(&shifted, SimTime::from_secs(50), &placement);
+        let (want_a, want_s) = p.plan(&rebase(&shifted), &placement);
+        assert_eq!(got_a.disks, want_a.disks);
+        assert_eq!(got_s, want_s);
+        assert_eq!(w.window().len(), 6);
+    }
+
+    #[test]
+    fn windowed_cold_start_is_jobs_invariant() {
+        let (reqs, placement) = paper_instance();
+        let p = planner(MwisSolver::GwMin);
+        let mut w1 = WindowedPlanner::new(p.clone(), 4);
+        let a1 = w1.advance(&reqs, SimTime::from_secs(0), &placement);
+        let mut w8 = WindowedPlanner::new(p, 4);
+        let a8 = w8.advance_with_jobs(&reqs, SimTime::from_secs(0), &placement, 8);
+        assert_eq!(a1, a8);
+        assert_eq!(w1.graph(), w8.graph());
+        assert_eq!(w1.stats(), w8.stats(), "counters must be jobs-invariant");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not precede the window tail")]
+    fn windowed_rejects_out_of_order_arrivals() {
+        let (reqs, placement) = paper_instance();
+        let p = planner(MwisSolver::GwMin);
+        let mut w = WindowedPlanner::new(p, 4);
+        w.advance(&reqs, SimTime::from_secs(0), &placement);
+        let early = rebase(&reqs[..1]); // t = 0, before the tail at t = 13
+        w.advance(&early, SimTime::from_secs(0), &placement);
+    }
+
+    #[test]
+    fn small_builds_stay_serial_under_threshold() {
+        // The paper instance is far below MIN_PARALLEL_BUILD_WORK, so
+        // the jobs > 1 path must produce the serial build (it *is* the
+        // serial build); a fabricated planner with a huge fan-out
+        // crosses the threshold and still matches bit-for-bit.
+        let (reqs, placement) = paper_instance();
+        let p = planner(MwisSolver::GwMin);
+        assert!(reqs.len() * p.max_successors < MIN_PARALLEL_BUILD_WORK);
+        let serial = p.build_graph(&reqs, &placement);
+        let gated = p.build_graph_with_jobs(&reqs, &placement, 8);
+        assert_eq!(serial.graph, gated.graph);
+        let wide = MwisPlanner {
+            max_successors: MIN_PARALLEL_BUILD_WORK, // 6 × this ≥ threshold
+            ..p.clone()
+        };
+        let serial = wide.build_graph(&reqs, &placement);
+        let sharded = wide.build_graph_with_jobs(&reqs, &placement, 8);
+        assert_eq!(serial.graph, sharded.graph);
+        assert_eq!(serial.nodes, sharded.nodes);
     }
 
     #[test]

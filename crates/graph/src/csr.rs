@@ -199,6 +199,53 @@ impl CsrGraph {
         }
     }
 
+    /// Assembles a CSR graph from pre-built flat arrays whose invariants
+    /// the caller has already established: `offsets` has `weights.len() +
+    /// 1` entries, each slice of `neighbors` is sorted ascending and
+    /// duplicate-free, and the adjacency is symmetric. Used by the
+    /// delta-overlay compaction ([`DeltaGraph::compact`]), which produces
+    /// the arrays directly and must not pay a re-sort or a per-node
+    /// re-allocation. Debug builds verify every invariant.
+    ///
+    /// [`DeltaGraph::compact`]: crate::delta::DeltaGraph::compact
+    pub(crate) fn from_sorted_parts(
+        weights: Vec<f64>,
+        offsets: Vec<u32>,
+        neighbors: Vec<NodeId>,
+        edges: usize,
+    ) -> CsrGraph {
+        debug_assert_eq!(offsets.len(), weights.len() + 1);
+        debug_assert_eq!(*offsets.last().unwrap_or(&0) as usize, neighbors.len());
+        debug_assert_eq!(neighbors.len(), 2 * edges);
+        #[cfg(debug_assertions)]
+        for v in 0..weights.len() {
+            let slice = &neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+            debug_assert!(
+                slice.windows(2).all(|w| w[0] < w[1]),
+                "from_sorted_parts: slice {v} not strictly ascending"
+            );
+            debug_assert!(
+                slice.iter().all(|&u| (u as usize) < weights.len() && u != v as NodeId),
+                "from_sorted_parts: slice {v} has an out-of-range or self-loop entry"
+            );
+        }
+        CsrGraph {
+            weights,
+            offsets,
+            neighbors,
+            edges,
+        }
+    }
+
+    /// Disassembles the graph into its `(weights, offsets, neighbors)`
+    /// arenas so a caller that cycles through graph generations (the
+    /// rolling-horizon planner) can hand the capacity back to the next
+    /// [`DeltaGraph::compact_into`](crate::delta::DeltaGraph::compact_into)
+    /// instead of re-faulting fresh pages every window.
+    pub fn into_parts(self) -> (Vec<f64>, Vec<u32>, Vec<NodeId>) {
+        (self.weights, self.offsets, self.neighbors)
+    }
+
     /// Snapshots a mutable [`Graph`] into the CSR layout (adjacency gets
     /// sorted; the graph's lists are already deduplicated).
     pub fn from_graph(g: &Graph) -> CsrGraph {

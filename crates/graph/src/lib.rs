@@ -9,6 +9,11 @@
 //! * [`csr`] — the frozen [`csr::CsrGraph`] compressed-sparse-row layout:
 //!   flat offset/neighbor arrays with sorted adjacency, the fast backend
 //!   for build-once-solve-many graphs.
+//! * [`delta`] — the [`delta::DeltaGraph`] mutation overlay over a frozen
+//!   CSR base: tombstoned retirements + appended arrivals with
+//!   copy-on-write patch lists, flattened back to flat CSR by
+//!   [`delta::DeltaGraph::compact`] under a caller-chosen live order.
+//!   The substrate of the rolling-horizon incremental re-planner.
 //! * [`mwis`] — maximum-weight-independent-set solvers: the paper's GMIN
 //!   greedy ([`mwis::gwmin`], Sakai et al. \[22\]), the stronger
 //!   [`mwis::gwmin2`], a [`mwis::local_search`] improver, and an
@@ -28,10 +33,12 @@
 
 pub mod bitset;
 pub mod csr;
+pub mod delta;
 pub mod graph;
 pub mod mwis;
 pub mod setcover;
 
 pub use csr::CsrGraph;
+pub use delta::DeltaGraph;
 pub use graph::{Graph, GraphBuilder, GraphView, NodeId};
 pub use setcover::{Cover, SetCoverInstance, WeightedSet};

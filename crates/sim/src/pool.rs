@@ -19,9 +19,36 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Environment variable consulted by [`Parallelism::from_env`]: a
-/// positive integer worker count. Unset, empty, or unparsable values
-/// fall back to 1 (serial).
+/// positive integer worker count. Unset and empty fall back to 1
+/// (serial); `0` and unparsable values are *rejected* — they also run
+/// serial, but with a warning on stderr so a typo (`SPINDOWN_JOBS=0`,
+/// `SPINDOWN_JOBS=max`) is never silently swallowed.
 pub const JOBS_ENV_VAR: &str = "SPINDOWN_JOBS";
+
+/// How one [`SPINDOWN_JOBS`](JOBS_ENV_VAR) value parsed. Split from the
+/// environment read so every path has a deterministic unit test (env
+/// mutation is racy under the parallel test harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobsParse {
+    /// A valid worker count (≥ 1).
+    Jobs(usize),
+    /// Empty or whitespace-only: treated like unset (silent serial) —
+    /// `SPINDOWN_JOBS= cmd` is the conventional shell idiom for "off".
+    Unset,
+    /// `0` or not a number: rejected; the caller warns and runs serial.
+    Invalid,
+}
+
+fn parse_jobs(raw: &str) -> JobsParse {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return JobsParse::Unset;
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n >= 1 => JobsParse::Jobs(n),
+        _ => JobsParse::Invalid,
+    }
+}
 
 /// A resolved worker-thread count (always ≥ 1).
 ///
@@ -62,13 +89,22 @@ impl Parallelism {
         self.0
     }
 
-    /// Reads [`SPINDOWN_JOBS`](JOBS_ENV_VAR) from the environment;
-    /// unset / empty / unparsable / zero all yield serial.
+    /// Reads [`SPINDOWN_JOBS`](JOBS_ENV_VAR) from the environment.
+    /// Unset and empty yield serial silently; `0` and garbage are
+    /// rejected with a warning on stderr (and also yield serial) rather
+    /// than being silently resolved.
     pub fn from_env() -> Self {
         match std::env::var(JOBS_ENV_VAR) {
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => Parallelism(n),
-                _ => Parallelism::SERIAL,
+            Ok(v) => match parse_jobs(&v) {
+                JobsParse::Jobs(n) => Parallelism(n),
+                JobsParse::Unset => Parallelism::SERIAL,
+                JobsParse::Invalid => {
+                    eprintln!(
+                        "warning: ignoring {JOBS_ENV_VAR}={v:?}: \
+                         expected a worker count >= 1; running serial"
+                    );
+                    Parallelism::SERIAL
+                }
             },
             Err(_) => Parallelism::SERIAL,
         }
@@ -200,6 +236,33 @@ mod tests {
         assert_eq!(Parallelism::default(), Parallelism::SERIAL);
         assert_eq!(Parallelism::resolve(Some(0)).get(), 1);
         assert_eq!(Parallelism::resolve(Some(7)).get(), 7);
+    }
+
+    #[test]
+    fn jobs_parse_accepts_positive_counts() {
+        assert_eq!(parse_jobs("1"), JobsParse::Jobs(1));
+        assert_eq!(parse_jobs("8"), JobsParse::Jobs(8));
+        assert_eq!(parse_jobs("  16 "), JobsParse::Jobs(16), "whitespace trimmed");
+    }
+
+    #[test]
+    fn jobs_parse_treats_empty_as_unset() {
+        assert_eq!(parse_jobs(""), JobsParse::Unset);
+        assert_eq!(parse_jobs("   "), JobsParse::Unset);
+        assert_eq!(parse_jobs("\t"), JobsParse::Unset);
+    }
+
+    #[test]
+    fn jobs_parse_rejects_zero() {
+        assert_eq!(parse_jobs("0"), JobsParse::Invalid);
+        assert_eq!(parse_jobs(" 0 "), JobsParse::Invalid);
+    }
+
+    #[test]
+    fn jobs_parse_rejects_garbage() {
+        for garbage in ["max", "-1", "2.5", "1x", "0x8", "eight", "+ 3"] {
+            assert_eq!(parse_jobs(garbage), JobsParse::Invalid, "{garbage:?}");
+        }
     }
 
     #[test]
