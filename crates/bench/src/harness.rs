@@ -20,13 +20,15 @@ use std::time::Instant;
 
 use spindown_core::cost::CostFunction;
 use spindown_core::experiment::{build_scheduler, data_space, scan_stream, SchedulerKind};
-use spindown_core::model::{Assignment, Request};
+use spindown_core::model::{Assignment, DiskId, Request};
 use spindown_core::offline::evaluate_offline_with_jobs;
 use spindown_core::placement::{PlacementConfig, PlacementMap};
 #[cfg(feature = "bench-alloc")]
 use spindown_core::sched::PlanScratch;
-use spindown_core::sched::{MwisPlanner, MwisSolver, WindowedPlanner};
-use spindown_core::system::{run_system_streamed, SystemConfig};
+use spindown_core::sched::{ExplicitPlacement, MwisPlanner, MwisSolver, WindowedPlanner};
+use spindown_core::system::{
+    run_system, run_system_streamed, run_system_with_jobs, SystemConfig,
+};
 use spindown_disk::mechanics::{DiskGeometry, Mechanics};
 use spindown_disk::power::PowerParams;
 use spindown_graph::mwis as solvers;
@@ -1049,6 +1051,75 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
             name: "stream_run_peak_buffer_bytes",
             value: (peaks.0 * event_bytes + peaks.1 * in_flight_bytes) as f64,
         });
+    }
+    if want("stream_run_islands_serial_medium") || want("stream_run_islands_medium") {
+        // Island-parallel replay: 8 replica islands of 6 disks (3
+        // replicas inside the group), so `run_system_with_jobs` can run
+        // 8 independent event loops. The serial fixture is the oracle
+        // engine on the identical workload; `island_sim_speedup` is
+        // their median ratio (near 1.0 on a single-core runner — only
+        // the bit-identical outputs are meaningful there). Iterations
+        // are kept tens-of-ms long so shared-host steal spikes average
+        // out inside a sample instead of whipsawing the gated medians.
+        let scale = Scale {
+            requests: 60_000,
+            data_items: 14_400,
+            disks: 48,
+            rate: 20.0,
+        };
+        let requests = workload::cello(scale, config.seed);
+        let islands = 8usize;
+        let group = 6usize;
+        let locations: Vec<Vec<DiskId>> = (0..data_space(&requests))
+            .map(|d| {
+                let g = d % islands;
+                (0..3)
+                    .map(|r| DiskId((g * group + (d / islands + r) % group) as u32))
+                    .collect()
+            })
+            .collect();
+        let placement = ExplicitPlacement::new(locations, scale.disks);
+        let sys = SystemConfig {
+            disks: scale.disks,
+            seed: config.seed,
+            ..SystemConfig::default()
+        };
+        let factory = || {
+            build_scheduler(
+                &SchedulerKind::Heuristic(CostFunction::energy_only()),
+                config.seed,
+            )
+            .expect("event-loop scheduler")
+        };
+        let mut serial_stats = None;
+        if want("stream_run_islands_serial_medium") {
+            let stats = time_ns(warmup + 4, gb_iters, || {
+                let mut sched = factory();
+                black_box(run_system(&requests, &placement, sched.as_mut(), &sys));
+            });
+            entries.push(BenchEntry {
+                name: "stream_run_islands_serial_medium",
+                stats,
+            });
+            serial_stats = Some(stats);
+        }
+        if want("stream_run_islands_medium") {
+            let stats = time_ns(warmup + 4, gb_iters, || {
+                black_box(run_system_with_jobs(
+                    &requests, &placement, &factory, &sys, par_jobs,
+                ));
+            });
+            entries.push(BenchEntry {
+                name: "stream_run_islands_medium",
+                stats,
+            });
+            if let Some(serial) = serial_stats {
+                derived.push(DerivedEntry {
+                    name: "island_sim_speedup",
+                    value: serial.median_ns as f64 / stats.median_ns as f64,
+                });
+            }
+        }
     }
 
     BenchReport {

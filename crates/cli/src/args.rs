@@ -54,9 +54,11 @@ BENCH:
 MISC:
     --jobs, -j <n>           worker threads for parallel work: grid cells,
                              MWIS conflict-graph build, per-disk offline
-                             evaluation (simulate/compare/bench). Results
-                             are bit-identical for any value. Precedence:
-                             this flag > SPINDOWN_JOBS env var > 1
+                             evaluation, and island-parallel event replay
+                             (one event loop per replica-sharing island).
+                             Results are bit-identical for any value.
+                             Precedence: this flag > SPINDOWN_JOBS env
+                             var > 1
     --seed <n>               master seed             [default: 42]
     --help                   show this text";
 
@@ -193,9 +195,9 @@ pub struct Cli {
     pub window_s: u64,
     /// `replan` horizon advance per window, seconds.
     pub step_s: u64,
-    /// Worker threads for parallel work (grids, benches, and the
-    /// intra-run MWIS/offline substrates). `None` defers to the
-    /// `SPINDOWN_JOBS` environment variable (see
+    /// Worker threads for parallel work (grids, benches, the intra-run
+    /// MWIS/offline substrates, and island-parallel event replay).
+    /// `None` defers to the `SPINDOWN_JOBS` environment variable (see
     /// [`Cli::effective_jobs`]).
     pub jobs: Option<usize>,
     /// Timed iterations for `bench`.

@@ -21,7 +21,7 @@ use spindown_core::metrics::RunMetrics;
 use spindown_core::model::Request;
 use spindown_core::placement::{PlacementConfig, PlacementMap};
 use spindown_core::sched::{MwisPlanner, WindowedPlanner};
-use spindown_core::system::{run_system_streamed, PolicyKind, SystemConfig};
+use spindown_core::system::{run_system_streamed_with_jobs, PolicyKind, SystemConfig};
 use spindown_sim::time::SimDuration;
 use spindown_trace::record::{Trace, TraceRecord};
 use spindown_trace::spc::SpcStream;
@@ -103,7 +103,7 @@ enum Workload {
 enum RecordPass {
     Spc(SpcStream<BufReader<File>>),
     Srt(SrtStream<BufReader<File>>),
-    Synth(Box<dyn Iterator<Item = TraceRecord>>),
+    Synth(Box<dyn Iterator<Item = TraceRecord> + Send>),
 }
 
 impl Iterator for RecordPass {
@@ -229,9 +229,10 @@ fn materialize(workload: &Workload) -> Result<(Trace, usize), CommandError> {
 fn simulate_command(cli: &Cli, workload: &Workload) -> Result<String, CommandError> {
     let spec = spec(cli, cli.scheduler);
     match build_scheduler(&spec.scheduler, spec.seed) {
-        Some(mut sched) => {
+        Some(_) => {
             // Constant-memory path: pass one folds the stream to its
-            // scan summary, pass two feeds the event loop directly.
+            // scan summary, pass two feeds the event loop(s) directly —
+            // one per placement island when --jobs allows.
             let mut pass1 = workload.open()?;
             let scan =
                 scan_stream(&mut pass1).map_err(|e| CommandError::Parse(e.to_string()))?;
@@ -246,8 +247,17 @@ fn simulate_command(cli: &Cli, workload: &Workload) -> Result<String, CommandErr
             };
             let mut pass2 = workload.open()?;
             let mut source = scan.requests(&mut pass2);
-            let m = run_system_streamed(&mut source, &placement, sched.as_mut(), &config)
-                .map_err(|e| CommandError::Parse(e.0))?;
+            let m = run_system_streamed_with_jobs(
+                &mut source,
+                &placement,
+                &|| {
+                    build_scheduler(&spec.scheduler, spec.seed)
+                        .expect("checked above: event-loop scheduler")
+                },
+                &config,
+                cli.effective_jobs(),
+            )
+            .map_err(|e| CommandError::Parse(e.0))?;
             drop(source);
             let skipped = skipped_scan.max(pass2.skipped());
             Ok(simulate_report(cli, reads, span_s, skipped, &m))

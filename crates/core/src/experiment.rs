@@ -18,7 +18,7 @@ use crate::sched::{
     HeuristicScheduler, LoadAwareScheduler, MwisPlanner, MwisSolver, RandomScheduler, Scheduler,
     StaticScheduler, WscScheduler,
 };
-use crate::system::{run_system, PolicyKind, SourceError, SystemConfig};
+use crate::system::{run_system_with_jobs, PolicyKind, SourceError, SystemConfig};
 
 /// Which scheduling algorithm an experiment runs (paper §4.3).
 #[derive(Debug, Clone, PartialEq)]
@@ -290,9 +290,10 @@ pub fn run_experiment(requests: &[Request], spec: &ExperimentSpec) -> RunMetrics
 /// [`run_experiment`] with intra-run parallelism: the MWIS conflict-graph
 /// build ([`MwisPlanner::plan_with_jobs`]) and the per-disk offline
 /// evaluation ([`evaluate_offline_with_jobs`]) fan out across `jobs`
-/// workers. Both substrates are bit-identical to serial for any thread
-/// count, so the returned metrics do not depend on `jobs`; event-loop
-/// schedulers are inherently single-threaded and ignore it.
+/// workers; event-loop schedulers replay island-parallel via
+/// [`run_system_with_jobs`]. All substrates are bit-identical to serial
+/// for any thread count, so the returned metrics do not depend on
+/// `jobs`.
 ///
 /// [`evaluate_offline_with_jobs`]: crate::offline::evaluate_offline_with_jobs
 pub fn run_experiment_with_jobs(
@@ -327,14 +328,21 @@ pub fn run_experiment_with_jobs(
             )
         }
         online_or_batch => {
-            let mut scheduler = build_scheduler(online_or_batch, spec.seed)
-                .expect("non-MWIS kinds build an event-loop scheduler");
             let config = SystemConfig {
                 disks: spec.placement.disks,
                 seed: spec.seed,
                 ..spec.system.clone()
             };
-            run_system(requests, &placement, scheduler.as_mut(), &config)
+            run_system_with_jobs(
+                requests,
+                &placement,
+                &|| {
+                    build_scheduler(online_or_batch, spec.seed)
+                        .expect("non-MWIS kinds build an event-loop scheduler")
+                },
+                &config,
+                jobs,
+            )
         }
     }
 }

@@ -70,9 +70,10 @@ pub use experiment::{
     build_scheduler, requests_from_trace, run_experiment, scan_stream, ExperimentSpec,
     SchedulerKind, StreamRequests, StreamScan,
 };
-pub use metrics::{DiskSummary, RunMetrics};
+pub use metrics::{merge_islands, DiskSummary, IslandPart, RunMetrics};
 pub use model::{Assignment, DataId, DiskId, Request};
-pub use placement::{PlacementConfig, PlacementMap};
+pub use placement::{IslandPartition, PlacementConfig, PlacementMap};
 pub use system::{
-    run_system, run_system_streamed, PolicyKind, RequestSource, SourceError, SystemConfig,
+    run_system, run_system_streamed, run_system_streamed_with_jobs, run_system_with_jobs,
+    PolicyKind, RequestSource, SourceError, SystemConfig,
 };

@@ -176,9 +176,10 @@ fn evaluate_offline_impl(
         response,
         per_disk: per_disk_summary,
         power_timeline: Vec::new(),
-        // The analytic evaluator never touches an event queue.
+        // The analytic evaluator never touches an event queue or splitter.
         peak_events: 0,
         peak_in_flight: 0,
+        splitter_high_water: 0,
     }
 }
 

@@ -155,6 +155,161 @@ impl PlacementMap {
     }
 }
 
+/// Partition of the disk fleet into **islands**: connected components of
+/// the replica-sharing relation. Two disks are in the same island iff some
+/// data item has copies on both (transitively). Requests for one data item
+/// only ever touch disks of one island, so per-island event loops are
+/// fully independent — the foundation of island-parallel replay.
+///
+/// Islands are numbered canonically by their smallest member disk id, and
+/// each island lists its disks in ascending global order, so the partition
+/// (and everything derived from it) is independent of traversal order.
+#[derive(Debug, Clone)]
+pub struct IslandPartition {
+    /// Global disk id → island id.
+    disk_island: Vec<u32>,
+    /// Global disk id → index of the disk within its island's disk list.
+    disk_local: Vec<u32>,
+    /// CSR offsets into `island_disks`, length `n_islands + 1`.
+    island_offsets: Vec<usize>,
+    /// Global disk ids grouped by island, ascending within each island.
+    island_disks: Vec<DiskId>,
+    /// Data id → island id (empty when the data universe is unknown).
+    data_island: Vec<u32>,
+}
+
+impl IslandPartition {
+    /// Derives the partition from a placement by unioning every data
+    /// item's replica set. Falls back to [`IslandPartition::single_island`]
+    /// when the provider cannot enumerate its data items
+    /// ([`LocationProvider::data_items`] is `None`).
+    pub fn from_provider(provider: &(dyn crate::sched::LocationProvider + '_)) -> Self {
+        let disks = provider.disks();
+        let Some(n_data) = provider.data_items() else {
+            return Self::single_island(disks);
+        };
+        let n = disks as usize;
+        // Union-find with path halving; union by smaller root id so the
+        // representative is always the component's minimum disk.
+        let mut parent: Vec<u32> = (0..disks).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        for d in 0..n_data {
+            let locs = provider.locations(DataId(d as u64));
+            let first = locs[0].0;
+            for &l in &locs[1..] {
+                let a = find(&mut parent, first);
+                let b = find(&mut parent, l.0);
+                if a != b {
+                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                    parent[hi as usize] = lo;
+                }
+            }
+        }
+        // Canonical island ids: scan disks in ascending order; a disk that
+        // is its own root opens the next island. Roots are component
+        // minima, so island order == order of smallest member.
+        let mut disk_island = vec![u32::MAX; n];
+        let mut n_islands = 0u32;
+        for d in 0..disks {
+            let root = find(&mut parent, d);
+            if root == d {
+                disk_island[d as usize] = n_islands;
+                n_islands += 1;
+            } else {
+                disk_island[d as usize] = disk_island[root as usize];
+            }
+        }
+        // CSR of member disks per island (counting pass → exact offsets →
+        // ordered scatter keeps members ascending).
+        let mut counts = vec![0usize; n_islands as usize];
+        for &i in &disk_island {
+            counts[i as usize] += 1;
+        }
+        let mut island_offsets = Vec::with_capacity(n_islands as usize + 1);
+        let mut acc = 0usize;
+        island_offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            island_offsets.push(acc);
+        }
+        let mut cursor = island_offsets.clone();
+        let mut island_disks = vec![DiskId(0); n];
+        let mut disk_local = vec![0u32; n];
+        for d in 0..disks {
+            let island = disk_island[d as usize] as usize;
+            let slot = cursor[island];
+            cursor[island] += 1;
+            island_disks[slot] = DiskId(d);
+            disk_local[d as usize] = (slot - island_offsets[island]) as u32;
+        }
+        let data_island = (0..n_data)
+            .map(|d| disk_island[provider.locations(DataId(d as u64))[0].index()])
+            .collect();
+        IslandPartition {
+            disk_island,
+            disk_local,
+            island_offsets,
+            island_disks,
+            data_island,
+        }
+    }
+
+    /// The degenerate partition: every disk in one island. Used when the
+    /// data universe is unknown or when replicas connect the whole fleet.
+    pub fn single_island(disks: u32) -> Self {
+        let n = disks as usize;
+        IslandPartition {
+            disk_island: vec![0; n],
+            disk_local: (0..disks).collect(),
+            island_offsets: vec![0, n],
+            island_disks: (0..disks).map(DiskId).collect(),
+            data_island: Vec::new(),
+        }
+    }
+
+    /// Number of islands.
+    pub fn n_islands(&self) -> usize {
+        self.island_offsets.len() - 1
+    }
+
+    /// `true` when the partition is one island (parallel replay degrades
+    /// to the serial engine).
+    pub fn is_single(&self) -> bool {
+        self.n_islands() == 1
+    }
+
+    /// Global disk ids of island `i`, ascending.
+    pub fn island_disks(&self, i: usize) -> &[DiskId] {
+        &self.island_disks[self.island_offsets[i]..self.island_offsets[i + 1]]
+    }
+
+    /// Island of a disk.
+    pub fn disk_island(&self, d: DiskId) -> usize {
+        self.disk_island[d.index()] as usize
+    }
+
+    /// Index of `d` within [`IslandPartition::island_disks`] of its island.
+    pub fn disk_local(&self, d: DiskId) -> usize {
+        self.disk_local[d.index()] as usize
+    }
+
+    /// Island of a data item. For the single-island fallback every data id
+    /// maps to island 0.
+    pub fn data_island(&self, data: DataId) -> usize {
+        if self.data_island.is_empty() {
+            0
+        } else {
+            self.data_island[data.0 as usize] as usize
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +402,103 @@ mod tests {
     #[should_panic(expected = "replication factor")]
     fn zero_replication_rejected() {
         PlacementMap::build(1, &cfg(5, 0, 1.0), 0);
+    }
+
+    #[test]
+    fn islands_from_explicit_groups() {
+        use crate::sched::ExplicitPlacement;
+        // Disks {0,2} share data 0, {1,3} share data 1, disk 4 is isolated.
+        let p = ExplicitPlacement::new(
+            vec![
+                vec![DiskId(2), DiskId(0)],
+                vec![DiskId(1), DiskId(3)],
+                vec![DiskId(0)],
+            ],
+            5,
+        );
+        let part = IslandPartition::from_provider(&p);
+        assert_eq!(part.n_islands(), 3);
+        assert!(!part.is_single());
+        assert_eq!(part.island_disks(0), &[DiskId(0), DiskId(2)]);
+        assert_eq!(part.island_disks(1), &[DiskId(1), DiskId(3)]);
+        assert_eq!(part.island_disks(2), &[DiskId(4)]);
+        assert_eq!(part.disk_island(DiskId(2)), 0);
+        assert_eq!(part.disk_local(DiskId(2)), 1);
+        assert_eq!(part.disk_local(DiskId(3)), 1);
+        assert_eq!(part.data_island(DataId(0)), 0);
+        assert_eq!(part.data_island(DataId(1)), 1);
+        assert_eq!(part.data_island(DataId(2)), 0);
+    }
+
+    #[test]
+    fn islands_transitive_chain_collapses_to_one() {
+        use crate::sched::ExplicitPlacement;
+        // data i on {i, i+1}: a chain connecting all disks into one island.
+        let locs: Vec<Vec<DiskId>> = (0..9).map(|i| vec![DiskId(i), DiskId(i + 1)]).collect();
+        let p = ExplicitPlacement::new(locs, 10);
+        let part = IslandPartition::from_provider(&p);
+        assert!(part.is_single());
+        assert_eq!(part.island_disks(0).len(), 10);
+        for d in 0..10 {
+            assert_eq!(part.disk_island(DiskId(d)), 0);
+            assert_eq!(part.disk_local(DiskId(d)), d as usize);
+        }
+    }
+
+    #[test]
+    fn islands_replication_one_is_per_disk() {
+        let map = PlacementMap::build(400, &cfg(16, 1, 1.0), 3);
+        let part = IslandPartition::from_provider(&map);
+        // Unreplicated data never connects disks: 16 singleton islands.
+        assert_eq!(part.n_islands(), 16);
+        for d in 0..16 {
+            assert_eq!(part.island_disks(d as usize), &[DiskId(d)]);
+            assert_eq!(part.disk_local(DiskId(d)), 0);
+        }
+        for i in 0..400 {
+            let island = part.data_island(DataId(i));
+            assert_eq!(island, map.original(DataId(i)).index());
+        }
+    }
+
+    #[test]
+    fn islands_partition_invariants_hold() {
+        // Whatever the shape, the partition must cover every disk exactly
+        // once, keep members ascending, order islands by minimum disk, and
+        // put every data item's locations in that item's island.
+        let map = PlacementMap::build(800, &cfg(40, 2, 1.0), 21);
+        let part = IslandPartition::from_provider(&map);
+        let mut seen = [false; 40];
+        let mut prev_min = None;
+        for i in 0..part.n_islands() {
+            let members = part.island_disks(i);
+            assert!(!members.is_empty());
+            assert!(members.windows(2).all(|w| w[0] < w[1]));
+            assert!(prev_min < Some(members[0]));
+            prev_min = Some(members[0]);
+            for (local, &d) in members.iter().enumerate() {
+                assert!(!seen[d.index()]);
+                seen[d.index()] = true;
+                assert_eq!(part.disk_island(d), i);
+                assert_eq!(part.disk_local(d), local);
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        for data in 0..800 {
+            let island = part.data_island(DataId(data));
+            for &l in map.locations(DataId(data)) {
+                assert_eq!(part.disk_island(l), island, "data {data} split");
+            }
+        }
+    }
+
+    #[test]
+    fn single_island_fallback_shape() {
+        let part = IslandPartition::single_island(7);
+        assert!(part.is_single());
+        assert_eq!(part.island_disks(0).len(), 7);
+        assert_eq!(part.data_island(DataId(123)), 0);
+        assert_eq!(part.disk_local(DiskId(6)), 6);
     }
 
     #[test]

@@ -44,6 +44,13 @@ pub trait LocationProvider {
 
     /// Number of disks in the system.
     fn disks(&self) -> u32;
+
+    /// Number of data items when the placement is a dense table over
+    /// `DataId(0..n)`, or `None` when the data-id universe is unknown.
+    /// Island partitioning needs this to walk every replica set.
+    fn data_items(&self) -> Option<usize> {
+        None
+    }
 }
 
 impl LocationProvider for crate::placement::PlacementMap {
@@ -53,6 +60,10 @@ impl LocationProvider for crate::placement::PlacementMap {
 
     fn disks(&self) -> u32 {
         crate::placement::PlacementMap::disks(self)
+    }
+
+    fn data_items(&self) -> Option<usize> {
+        Some(crate::placement::PlacementMap::n_data(self))
     }
 }
 
@@ -89,6 +100,10 @@ impl LocationProvider for ExplicitPlacement {
 
     fn disks(&self) -> u32 {
         self.disks
+    }
+
+    fn data_items(&self) -> Option<usize> {
+        Some(self.locations.len())
     }
 }
 
@@ -142,6 +157,36 @@ pub trait Scheduler {
     /// parallel to `reqs`, and every choice must be one of the request's
     /// replica locations.
     fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId>;
+}
+
+// Forwarding impls so engines can hold schedulers either borrowed (the
+// serial oracle path) or owned per worker thread (the island runner).
+impl<T: Scheduler + ?Sized> Scheduler for &mut T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn mode(&self) -> ScheduleMode {
+        (**self).mode()
+    }
+
+    fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
+        (**self).assign(reqs, view)
+    }
+}
+
+impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn mode(&self) -> ScheduleMode {
+        (**self).mode()
+    }
+
+    fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
+        (**self).assign(reqs, view)
+    }
 }
 
 #[cfg(test)]

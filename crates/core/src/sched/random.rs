@@ -1,22 +1,29 @@
 //! `Random` baseline: uniformly pick one of the request's replica
 //! locations (paper §4.3).
 
-use spindown_sim::rng::SimRng;
+use spindown_sim::rng::SplitMix64;
 
 use crate::model::{DiskId, Request};
 use crate::sched::{Scheduler, SystemView};
 
 /// The paper's `Random` baseline scheduler.
-#[derive(Debug)]
+///
+/// The pick for a request is a pure hash of `(seed, request index)` rather
+/// than a draw from a sequential stream, so the decision for a given
+/// request does not depend on how many other requests this scheduler
+/// instance has seen. That makes the scheduler *partition-invariant*:
+/// island-parallel replay, where each island sees only its own requests,
+/// reproduces the serial run's assignments exactly.
+#[derive(Debug, Clone)]
 pub struct RandomScheduler {
-    rng: SimRng,
+    seed: u64,
 }
 
 impl RandomScheduler {
     /// Creates the scheduler with its own deterministic stream.
     pub fn new(seed: u64) -> Self {
         RandomScheduler {
-            rng: SimRng::seed_from_u64(seed ^ 0x52414E44), // "RAND"
+            seed: seed ^ 0x52414E44, // "RAND"
         }
     }
 }
@@ -28,7 +35,17 @@ impl Scheduler for RandomScheduler {
 
     fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
         reqs.iter()
-            .map(|r| *self.rng.choose(view.locations(r.data)))
+            .map(|r| {
+                let locs = view.locations(r.data);
+                let x = SplitMix64::new(
+                    self.seed ^ (r.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )
+                .next_u64();
+                // Unbiased-enough fixed-point scaling of x into 0..len
+                // (Lemire's multiply-shift; bias is < len / 2^64).
+                let pick = ((x as u128 * locs.len() as u128) >> 64) as usize;
+                locs[pick]
+            })
             .collect()
     }
 }
@@ -112,5 +129,29 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn decision_depends_only_on_request_not_history() {
+        // The pick for request 42 is the same whether the scheduler has
+        // previously assigned 0 or 1000 other requests — the property that
+        // lets island-parallel replay split the stream arbitrarily.
+        let placement = ExplicitPlacement::new(vec![vec![DiskId(0), DiskId(1), DiskId(2)]], 3);
+        let params = PowerParams::barracuda();
+        let statuses = vec![
+            DiskStatus {
+                state: DiskPowerState::Standby,
+                last_request_at: None,
+                load: 0
+            };
+            3
+        ];
+        let v = view(&placement, &params, &statuses);
+        let mut warm = RandomScheduler::new(7);
+        for i in 0..1000 {
+            warm.assign(&[req(i, 0)], &v);
+        }
+        let mut cold = RandomScheduler::new(7);
+        assert_eq!(warm.assign(&[req(42, 0)], &v), cold.assign(&[req(42, 0)], &v));
     }
 }

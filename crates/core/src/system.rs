@@ -13,6 +13,16 @@
 //! in-memory callers and is the differential oracle for the streaming
 //! path (both run the identical loop, so metrics are bit-identical by
 //! construction; tests pin it anyway).
+//!
+//! The loop body itself lives in [`IslandEngine`], a push-based engine
+//! whose disks, event queue, in-flight accounting and histogram are all
+//! local to one **island** (a connected component of the replica-sharing
+//! relation, [`crate::placement::IslandPartition`]). The serial entry
+//! points drive a single engine over every disk;
+//! [`run_system_streamed_with_jobs`] runs one engine per island across a
+//! worker pool and merges the per-island metrics exactly
+//! ([`crate::metrics::merge_islands`]) — bit-identical to the serial
+//! oracle, as pinned by `tests/island_determinism.rs`.
 
 use std::collections::HashMap;
 
@@ -26,10 +36,12 @@ use spindown_sim::event::EventQueue;
 use spindown_sim::rng::{SimRng, SplitMix64};
 use spindown_sim::stats::LatencyHistogram;
 use spindown_sim::time::{SimDuration, SimTime};
+use spindown_trace::split::StreamSplitter;
 
 use crate::cost::DiskStatus;
-use crate::metrics::{DiskSummary, RunMetrics};
-use crate::model::Request;
+use crate::metrics::{DiskSummary, IslandPart, RunMetrics};
+use crate::model::{DiskId, Request};
+use crate::placement::IslandPartition;
 use crate::saving::SavingModel;
 use crate::sched::{LocationProvider, ScheduleMode, Scheduler, SystemView};
 
@@ -82,6 +94,7 @@ impl Default for SystemConfig {
     }
 }
 
+/// An engine-local event. `Disk` carries the *island-local* disk index.
 enum Ev {
     BatchTick,
     Sample,
@@ -132,6 +145,494 @@ where
     }
 }
 
+/// Dispatched-but-uncompleted accounting: maps a completion back to its
+/// arrival time. The production representation is a per-disk slab keyed
+/// by dispatch slot (the slot doubles as the disk-request wire id), so
+/// the hot path never hashes; the `Hash` variant keeps the historical
+/// `HashMap` keyed by global request index as a differential oracle.
+enum InFlight {
+    Slab {
+        /// `slots[disk][slot]` = arrival time of the request occupying
+        /// that dispatch slot, `None` when free.
+        slots: Vec<Vec<Option<SimTime>>>,
+        /// Per-disk free-slot stacks (LIFO, deterministic).
+        free: Vec<Vec<u32>>,
+        len: usize,
+    },
+    Hash(HashMap<u64, SimTime>),
+}
+
+impl InFlight {
+    fn slab(disks: usize) -> Self {
+        InFlight::Slab {
+            slots: vec![Vec::new(); disks],
+            free: vec![Vec::new(); disks],
+            len: 0,
+        }
+    }
+
+    fn hash() -> Self {
+        InFlight::Hash(HashMap::new())
+    }
+
+    /// Registers a dispatch on local disk `disk`; returns the wire id to
+    /// stamp on the [`DiskRequest`].
+    fn insert(&mut self, disk: usize, req: &Request) -> u64 {
+        match self {
+            InFlight::Slab { slots, free, len } => {
+                *len += 1;
+                match free[disk].pop() {
+                    Some(slot) => {
+                        let cell = &mut slots[disk][slot as usize];
+                        debug_assert!(cell.is_none(), "free slot {slot} occupied");
+                        *cell = Some(req.at);
+                        slot as u64
+                    }
+                    None => {
+                        slots[disk].push(Some(req.at));
+                        (slots[disk].len() - 1) as u64
+                    }
+                }
+            }
+            InFlight::Hash(map) => {
+                let prev = map.insert(req.index as u64, req.at);
+                debug_assert!(prev.is_none(), "request id {} already in flight", req.index);
+                req.index as u64
+            }
+        }
+    }
+
+    /// Resolves a completion on local disk `disk` with wire id `id`,
+    /// returning the request's arrival time.
+    fn remove(&mut self, disk: usize, id: u64) -> SimTime {
+        match self {
+            InFlight::Slab { slots, free, len } => {
+                let at = slots[disk][id as usize]
+                    .take()
+                    .expect("completed request must be in flight");
+                free[disk].push(id as u32);
+                *len -= 1;
+                at
+            }
+            InFlight::Hash(map) => map
+                .remove(&id)
+                .expect("completed request must be in flight"),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            InFlight::Slab { len, .. } => *len,
+            InFlight::Hash(map) => map.len(),
+        }
+    }
+}
+
+/// Per-disk RNGs, forked from the root seed in global disk order. The
+/// fork sequence must be global (forking mutates the root), so island
+/// engines receive their disks' pre-forked streams from this table and
+/// end up with exactly the serial engine's per-disk randomness.
+fn disk_rngs(config: &SystemConfig) -> Vec<SimRng> {
+    let mut root = SimRng::seed_from_u64(config.seed ^ 0x5751);
+    (0..config.disks).map(|d| root.fork(d as u64)).collect()
+}
+
+fn build_disk(config: &SystemConfig, rng: SimRng) -> Disk {
+    let initial_state = match config.policy {
+        PolicyKind::AlwaysOn => DiskPowerState::Idle,
+        _ => DiskPowerState::Standby,
+    };
+    let policy: Box<dyn IdlePolicy> = match &config.policy {
+        PolicyKind::AlwaysOn => Box::new(AlwaysOn),
+        PolicyKind::Breakeven => Box::new(FixedThreshold::breakeven(&config.power)),
+        PolicyKind::FixedTimeout(t) => Box::new(FixedThreshold::new(*t)),
+        PolicyKind::Adaptive => Box::new(AdaptiveThreshold::new(
+            0.25,
+            1.0,
+            SimDuration::from_secs(1),
+            config.power.breakeven() * 4,
+        )),
+    };
+    Disk::with_discipline(
+        config.power.clone(),
+        Mechanics::new(config.geometry.clone(), rng),
+        policy,
+        initial_state,
+        SimTime::ZERO,
+        config.discipline,
+    )
+}
+
+/// One island's event loop: the extracted body of the historical
+/// `run_system_streamed`, reshaped push-based so a router can feed many
+/// engines from one sorted stream. Disks, event queue, in-flight
+/// accounting, batch buffer and response histogram are all island-local;
+/// the only shared inputs are the (read-only) placement and power model.
+///
+/// Call [`IslandEngine::offer`] with the island's arrivals in
+/// non-decreasing time order, then [`IslandEngine::into_finished`] to
+/// drain remaining events and extract the partial metrics.
+struct IslandEngine<'a, S: Scheduler> {
+    power: &'a PowerParams,
+    placement: &'a dyn LocationProvider,
+    scheduler: S,
+    name: &'static str,
+    batch_interval: Option<SimDuration>,
+    power_sample: Option<SimDuration>,
+    /// Island disks, local order == ascending global id order.
+    disks: Vec<Disk>,
+    /// Local slot → global disk id.
+    global_ids: Vec<DiskId>,
+    /// Global disk index → local slot (`u32::MAX` for foreign disks).
+    local_of: Vec<u32>,
+    queue: EventQueue<Ev>,
+    batch_buffer: Vec<Request>,
+    in_flight: InFlight,
+    arrivals: usize,
+    trace_end: SimTime,
+    last_event: SimTime,
+    response: LatencyHistogram,
+    requests_per_disk: Vec<u64>,
+    /// Reusable status snapshot, indexed by **global** disk id; only the
+    /// island's own entries are ever refreshed (schedulers read statuses
+    /// only for a request's replica locations, all of which are local).
+    statuses: Vec<DiskStatus>,
+    /// Flattened per-sample per-disk watt rows (local disk order).
+    power_rows: Vec<f64>,
+    sample_times: Vec<SimTime>,
+    started: bool,
+    peak_events: usize,
+    peak_in_flight: usize,
+}
+
+/// A drained island, detached from its scheduler and placement borrows so
+/// it can cross back to the merging thread.
+struct FinishedIsland {
+    disks: Vec<Disk>,
+    global_ids: Vec<DiskId>,
+    requests_per_disk: Vec<u64>,
+    response: LatencyHistogram,
+    arrivals: usize,
+    trace_end: SimTime,
+    last_event: SimTime,
+    power_rows: Vec<f64>,
+    sample_times: Vec<SimTime>,
+    drained_watts: Vec<f64>,
+    peak_events: usize,
+    peak_in_flight: usize,
+}
+
+impl<'a, S: Scheduler> IslandEngine<'a, S> {
+    /// Builds an engine over `global_ids` (ascending). `rngs` is the
+    /// global per-disk fork table from [`disk_rngs`]. `use_hash` selects
+    /// the `HashMap` in-flight oracle instead of the production slab.
+    fn new(
+        placement: &'a dyn LocationProvider,
+        config: &'a SystemConfig,
+        scheduler: S,
+        global_ids: &[DiskId],
+        rngs: &[SimRng],
+        use_hash: bool,
+    ) -> Self {
+        let n_local = global_ids.len();
+        let n_global = config.disks as usize;
+        let disks: Vec<Disk> = global_ids
+            .iter()
+            .map(|gid| build_disk(config, rngs[gid.index()].clone()))
+            .collect();
+        let mut local_of = vec![u32::MAX; n_global];
+        for (l, gid) in global_ids.iter().enumerate() {
+            local_of[gid.index()] = l as u32;
+        }
+        let placeholder = DiskStatus {
+            state: match config.policy {
+                PolicyKind::AlwaysOn => DiskPowerState::Idle,
+                _ => DiskPowerState::Standby,
+            },
+            last_request_at: None,
+            load: 0,
+        };
+        let name = scheduler.name();
+        let batch_interval = match scheduler.mode() {
+            ScheduleMode::Online => None,
+            ScheduleMode::Batch(interval) => Some(interval),
+        };
+        IslandEngine {
+            power: &config.power,
+            placement,
+            scheduler,
+            name,
+            batch_interval,
+            power_sample: config.power_sample,
+            disks,
+            global_ids: global_ids.to_vec(),
+            local_of,
+            // Only in-flight work lives here: per-disk pipeline events
+            // plus at most one batch tick and one power sample — never
+            // the trace itself.
+            queue: EventQueue::with_capacity(n_local.saturating_mul(4) + 8),
+            batch_buffer: Vec::new(),
+            in_flight: if use_hash {
+                InFlight::hash()
+            } else {
+                InFlight::slab(n_local)
+            },
+            arrivals: 0,
+            trace_end: SimTime::ZERO,
+            last_event: SimTime::ZERO,
+            response: LatencyHistogram::default(),
+            requests_per_disk: vec![0; n_local],
+            statuses: vec![placeholder; n_global],
+            power_rows: Vec::new(),
+            sample_times: Vec::new(),
+            started: false,
+            peak_events: 0,
+            peak_in_flight: 0,
+        }
+    }
+
+    /// Schedules the initial batch tick and power sample. Deferred to the
+    /// first arrival so an island that never receives one stays inert —
+    /// exactly like the historical loop, which gated both on a non-empty
+    /// stream.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        if let Some(interval) = self.batch_interval {
+            self.queue.schedule(SimTime::ZERO + interval, Ev::BatchTick);
+        }
+        if self.power_sample.is_some() {
+            self.queue.schedule(SimTime::ZERO, Ev::Sample);
+        }
+        self.peak_events = self.peak_events.max(self.queue.len());
+    }
+
+    /// Feeds the next arrival (non-decreasing times, the island's own
+    /// data only). Events earlier than the arrival run first; at equal
+    /// times the arrival runs first, matching the pre-scheduled ordering
+    /// the materialized path historically used.
+    fn offer(&mut self, req: Request) {
+        self.ensure_started();
+        while let Some(t) = self.queue.peek_time() {
+            if t >= req.at {
+                break;
+            }
+            self.step_event(true);
+        }
+        let now = req.at;
+        self.last_event = self.last_event.max(now);
+        self.trace_end = now;
+        self.arrivals += 1;
+        if self.batch_interval.is_some() {
+            self.batch_buffer.push(req);
+        } else {
+            let singleton = [req];
+            self.dispatch(&singleton, now);
+        }
+        self.update_peaks();
+    }
+
+    /// Pops and processes one event. `pending` is true while a further
+    /// arrival exists for this island (it gates the batch-tick and
+    /// power-sample chains, as the look-ahead arrival did historically).
+    fn step_event(&mut self, pending: bool) {
+        let ev = self.queue.pop().expect("step_event requires an event");
+        let now = ev.at;
+        self.last_event = now;
+        match ev.payload {
+            Ev::BatchTick => {
+                if !self.batch_buffer.is_empty() {
+                    let batch = std::mem::take(&mut self.batch_buffer);
+                    self.dispatch(&batch, now);
+                    self.batch_buffer = batch;
+                    self.batch_buffer.clear();
+                }
+                if pending {
+                    let interval = self.batch_interval.expect("tick implies batch mode");
+                    self.queue.schedule(now + interval, Ev::BatchTick);
+                }
+            }
+            Ev::Sample => {
+                self.sample_times.push(now);
+                for d in &self.disks {
+                    self.power_rows.push(d.power_w());
+                }
+                // Keep sampling while real events remain (the only
+                // pending sample is the one just popped, so a non-empty
+                // queue or an unconsumed arrival means actual work is
+                // still in flight).
+                if !self.queue.is_empty() || pending {
+                    let interval = self.power_sample.expect("sampling enabled");
+                    self.queue.schedule(now + interval, Ev::Sample);
+                }
+            }
+            Ev::Disk(d, event) => {
+                let outcome = self.disks[d as usize].handle(now, event);
+                if let Some(done) = outcome.completed {
+                    let arrival = self.in_flight.remove(d as usize, done.id);
+                    self.response.record(now.saturating_since(arrival));
+                }
+                for dir in outcome.directives {
+                    self.queue.schedule(now + dir.after, Ev::Disk(d, dir.event));
+                }
+            }
+        }
+        self.update_peaks();
+    }
+
+    fn update_peaks(&mut self) {
+        self.peak_events = self.peak_events.max(self.queue.len());
+        self.peak_in_flight = self
+            .peak_in_flight
+            .max(self.in_flight.len() + self.batch_buffer.len());
+    }
+
+    /// Asks the scheduler to place `batch` and enqueues the results.
+    fn dispatch(&mut self, batch: &[Request], now: SimTime) {
+        for (l, gid) in self.global_ids.iter().enumerate() {
+            let d = &self.disks[l];
+            self.statuses[gid.index()] = DiskStatus {
+                state: d.state(),
+                last_request_at: d.last_request_at(),
+                load: d.load(),
+            };
+        }
+        let view = SystemView {
+            now,
+            params: self.power,
+            placement: self.placement,
+            statuses: self.statuses.as_slice(),
+        };
+        let choices = self.scheduler.assign(batch, &view);
+        assert_eq!(
+            choices.len(),
+            batch.len(),
+            "scheduler must place every request"
+        );
+        for (req, disk_id) in batch.iter().zip(choices) {
+            assert!(
+                self.placement.locations(req.data).contains(&disk_id),
+                "scheduler placed request {} off-placement ({disk_id})",
+                req.index
+            );
+            let local = self.local_of[disk_id.index()];
+            assert!(
+                local != u32::MAX,
+                "request {} routed to island without disk {disk_id}",
+                req.index
+            );
+            let local = local as usize;
+            self.requests_per_disk[local] += 1;
+            let wire_id = self.in_flight.insert(local, req);
+            let lba = lba_of(req.data.0, disk_id.0, self.power);
+            let directives = self.disks[local].enqueue(
+                now,
+                DiskRequest {
+                    id: wire_id,
+                    lba,
+                    size: req.size,
+                },
+            );
+            for dir in directives {
+                self.queue
+                    .schedule(now + dir.after, Ev::Disk(local as u32, dir.event));
+            }
+        }
+    }
+
+    /// Drains every remaining event and detaches the partial metrics.
+    fn into_finished(mut self) -> FinishedIsland {
+        while !self.queue.is_empty() {
+            self.step_event(false);
+        }
+        let drained_watts = self.disks.iter().map(Disk::power_w).collect();
+        FinishedIsland {
+            disks: self.disks,
+            global_ids: self.global_ids,
+            requests_per_disk: self.requests_per_disk,
+            response: self.response,
+            arrivals: self.arrivals,
+            trace_end: self.trace_end,
+            last_event: self.last_event,
+            power_rows: self.power_rows,
+            sample_times: self.sample_times,
+            drained_watts,
+            peak_events: self.peak_events,
+            peak_in_flight: self.peak_in_flight,
+        }
+    }
+}
+
+impl FinishedIsland {
+    /// Summarizes the island at the *global* horizon. Valid past the
+    /// island's own last event: disk states freeze once the local queue
+    /// drains, and the meters extrapolate the open interval — exactly
+    /// what the serial engine does for disks idle at the end of a run.
+    fn finalize(self, horizon: SimTime) -> IslandPart {
+        let per_disk: Vec<DiskSummary> = self
+            .disks
+            .iter()
+            .enumerate()
+            .map(|(i, d)| DiskSummary {
+                energy_j: d.energy_j(horizon),
+                state_fractions: d.meter().state_fractions(horizon),
+                spinups: d.meter().spinups(),
+                spindowns: d.meter().spindowns(),
+                requests: self.requests_per_disk[i],
+            })
+            .collect();
+        IslandPart {
+            disk_ids: self.global_ids,
+            per_disk,
+            response: self.response,
+            requests: self.arrivals,
+            sample_times: self.sample_times.iter().map(|t| t.as_secs_f64()).collect(),
+            power_rows: self.power_rows,
+            drained_watts: self.drained_watts,
+            peak_events: self.peak_events,
+            peak_in_flight: self.peak_in_flight,
+        }
+    }
+}
+
+/// Computes the global horizon and merges finished islands into the final
+/// metrics. The horizon is `max(last event, last request + saving
+/// window)` — island maxima reproduce the serial engine's values exactly,
+/// so runs under different schedulers are normalized over essentially the
+/// same span.
+fn merge_finished(
+    scheduler: String,
+    config: &SystemConfig,
+    finished: Vec<FinishedIsland>,
+    splitter_high_water: usize,
+) -> RunMetrics {
+    let model = SavingModel::new(&config.power);
+    let last_event = finished
+        .iter()
+        .map(|f| f.last_event)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let trace_end = finished
+        .iter()
+        .map(|f| f.trace_end)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let horizon = last_event.max(trace_end + model.window());
+    let horizon_s = horizon.as_secs_f64();
+    let always_on_j = config.disks as f64 * config.power.idle_w * horizon_s;
+    let parts: Vec<IslandPart> = finished.into_iter().map(|f| f.finalize(horizon)).collect();
+    crate::metrics::merge_islands(
+        scheduler,
+        config.disks,
+        horizon_s,
+        always_on_j,
+        parts,
+        splitter_high_water,
+    )
+}
+
 /// Runs `scheduler` over `requests` (time-sorted) against `placement`,
 /// returning the full metrics of the run.
 ///
@@ -173,6 +674,10 @@ pub fn run_system(
 /// (arrivals were enqueued before any other event and the queue is
 /// FIFO-stable at ties).
 ///
+/// This is the **serial oracle**: one engine over every disk, whatever
+/// the placement's island structure. [`run_system_streamed_with_jobs`]
+/// is the island-parallel production path and is bit-identical to it.
+///
 /// # Errors
 ///
 /// Returns the first [`SourceError`] the source yields, or an
@@ -190,199 +695,234 @@ pub fn run_system_streamed(
     scheduler: &mut dyn Scheduler,
     config: &SystemConfig,
 ) -> Result<RunMetrics, SourceError> {
+    run_single_engine(source, placement, scheduler, config, false)
+}
+
+/// [`run_system_streamed`] with the historical `HashMap` in-flight
+/// accounting instead of the production per-disk slab. Retained solely as
+/// the differential oracle for the slab (the wire ids on disk requests
+/// differ; the simulation and metrics must not).
+#[doc(hidden)]
+pub fn run_system_streamed_hash_oracle(
+    source: &mut dyn RequestSource,
+    placement: &dyn LocationProvider,
+    scheduler: &mut dyn Scheduler,
+    config: &SystemConfig,
+) -> Result<RunMetrics, SourceError> {
+    run_single_engine(source, placement, scheduler, config, true)
+}
+
+fn run_single_engine(
+    source: &mut dyn RequestSource,
+    placement: &dyn LocationProvider,
+    scheduler: &mut dyn Scheduler,
+    config: &SystemConfig,
+    use_hash: bool,
+) -> Result<RunMetrics, SourceError> {
     assert_eq!(
         placement.disks(),
         config.disks,
         "placement and system disagree on disk count"
     );
-
-    let mut root_rng = SimRng::seed_from_u64(config.seed ^ 0x5751);
-    let initial_state = match config.policy {
-        PolicyKind::AlwaysOn => DiskPowerState::Idle,
-        _ => DiskPowerState::Standby,
-    };
-    let mut disks: Vec<Disk> = (0..config.disks)
-        .map(|d| {
-            let policy: Box<dyn IdlePolicy> = match &config.policy {
-                PolicyKind::AlwaysOn => Box::new(AlwaysOn),
-                PolicyKind::Breakeven => Box::new(FixedThreshold::breakeven(&config.power)),
-                PolicyKind::FixedTimeout(t) => Box::new(FixedThreshold::new(*t)),
-                PolicyKind::Adaptive => Box::new(AdaptiveThreshold::new(
-                    0.25,
-                    1.0,
-                    SimDuration::from_secs(1),
-                    config.power.breakeven() * 4,
-                )),
-            };
-            Disk::with_discipline(
-                config.power.clone(),
-                Mechanics::new(config.geometry.clone(), root_rng.fork(d as u64)),
-                policy,
-                initial_state,
-                SimTime::ZERO,
-                config.discipline,
-            )
-        })
-        .collect();
-
-    // Only in-flight work lives here: per-disk pipeline events plus at
-    // most one batch tick and one power sample — never the trace itself.
-    let mut queue: EventQueue<Ev> =
-        EventQueue::with_capacity((config.disks as usize).saturating_mul(4) + 8);
-
-    // Single-request look-ahead: the head of the arrival stream.
+    let rngs = disk_rngs(config);
+    let all: Vec<DiskId> = (0..config.disks).map(DiskId).collect();
+    let mut engine = IslandEngine::new(placement, config, scheduler, &all, &rngs, use_hash);
     let mut pending = pull_next(source, None)?;
-
-    let batch_interval = match scheduler.mode() {
-        ScheduleMode::Online => None,
-        ScheduleMode::Batch(interval) => {
-            if pending.is_some() {
-                queue.schedule(SimTime::ZERO + interval, Ev::BatchTick);
-            }
-            Some(interval)
-        }
-    };
-    if config.power_sample.is_some() && pending.is_some() {
-        queue.schedule(SimTime::ZERO, Ev::Sample);
+    while let Some(req) = pending {
+        pending = pull_next(source, Some(req.at))?;
+        engine.offer(req);
     }
+    let name = engine.name;
+    Ok(merge_finished(
+        name.into(),
+        config,
+        vec![engine.into_finished()],
+        0,
+    ))
+}
 
-    let mut power_timeline: Vec<(f64, f64)> = Vec::new();
-    let mut batch_buffer: Vec<Request> = Vec::new();
-    // Arrival time of every dispatched-but-uncompleted request, keyed by
-    // request id — replaces the indexed lookup into a materialized slice.
-    let mut in_flight: HashMap<u64, SimTime> = HashMap::new();
-    let mut arrivals: usize = 0;
-    let mut trace_end = SimTime::ZERO;
-    let mut response = LatencyHistogram::default();
-    let mut requests_per_disk: Vec<u64> = vec![0; config.disks as usize];
-    let mut last_event = SimTime::ZERO;
-    let mut peak_events = queue.len();
-    let mut peak_in_flight: usize = 0;
+/// Island-parallel replay: one event loop per island of the placement's
+/// replica-sharing graph, fed from `source` through a bounded
+/// [`StreamSplitter`], merged exactly into one [`RunMetrics`].
+///
+/// Schedulers are created per island via `factory`, so each island's
+/// scheduler sees exactly the requests a serial scheduler would have seen
+/// for those disks (scheduler state never crosses islands — replica
+/// locality guarantees the serial scheduler's state is island-separable
+/// for every shipped scheduler; `RandomScheduler` hashes per request for
+/// the same reason).
+///
+/// The result is **bit-identical** to [`run_system_streamed`] — same
+/// floats, same histogram buckets, same `power_timeline` — for any
+/// `jobs`, except the operational fields
+/// [`RunMetrics::peak_events`] / [`RunMetrics::peak_in_flight`]
+/// (per-island maxima instead of one global queue's peak) and
+/// [`RunMetrics::splitter_high_water`] (timing-dependent diagnostic).
+/// With a single island it *is* the serial engine, operational fields
+/// included.
+///
+/// `jobs` is the worker cap (`0`/`1` = no threads); islands are sharded
+/// contiguously across at most `min(jobs, islands)` workers.
+///
+/// # Errors
+///
+/// Exactly as [`run_system_streamed`]: the first upstream or ordering
+/// error aborts the run (in-flight islands are abandoned).
+pub fn run_system_streamed_with_jobs(
+    source: &mut (dyn RequestSource + Send),
+    placement: &(dyn LocationProvider + Sync),
+    factory: &(dyn Fn() -> Box<dyn Scheduler> + Sync),
+    config: &SystemConfig,
+    jobs: usize,
+) -> Result<RunMetrics, SourceError> {
+    assert_eq!(
+        placement.disks(),
+        config.disks,
+        "placement and system disagree on disk count"
+    );
+    let partition = IslandPartition::from_provider(placement);
+    if partition.is_single() {
+        // Degenerate fallback: replicas connect everything, so the serial
+        // engine is the only correct execution — and trivially
+        // jobs-invariant.
+        let mut scheduler = factory();
+        return run_system_streamed(source, placement, &mut scheduler, config);
+    }
+    let n_islands = partition.n_islands();
+    let workers = jobs.max(1).min(n_islands);
+    let rngs = disk_rngs(config);
+    let name = factory().name().to_string();
 
-    // Reusable status snapshot buffer.
-    let mut statuses: Vec<DiskStatus> = Vec::with_capacity(config.disks as usize);
-
-    loop {
-        // Arrival-first at ties: pre-scheduled arrivals historically held
-        // the lowest sequence numbers in the FIFO-stable queue, so an
-        // arrival at time T ran before any simulator event at T.
-        let take_arrival = match (&pending, queue.peek_time()) {
-            (Some(r), Some(t)) => r.at <= t,
-            (Some(_), None) => true,
-            (None, Some(_)) => false,
-            (None, None) => break,
-        };
-        if take_arrival {
-            let req = pending.take().expect("arrival branch requires a request");
-            pending = pull_next(source, Some(req.at))?;
-            let now = req.at;
-            last_event = last_event.max(now);
-            trace_end = now;
-            arrivals += 1;
-            if batch_interval.is_some() {
-                batch_buffer.push(req);
-            } else {
-                dispatch(
-                    &[req],
+    if workers == 1 {
+        // Multi-island but single-threaded: route inline, no splitter.
+        let mut engines: Vec<IslandEngine<'_, Box<dyn Scheduler>>> = (0..n_islands)
+            .map(|i| {
+                IslandEngine::new(
                     placement,
-                    scheduler,
-                    &mut disks,
-                    &mut queue,
-                    &mut statuses,
-                    &mut requests_per_disk,
-                    &mut in_flight,
-                    now,
-                    &config.power,
-                );
-            }
-        } else {
-            let ev = queue.pop().expect("non-arrival branch requires an event");
-            let now = ev.at;
-            last_event = now;
-            match ev.payload {
-                Ev::BatchTick => {
-                    if !batch_buffer.is_empty() {
-                        let batch = std::mem::take(&mut batch_buffer);
-                        dispatch(
-                            &batch,
-                            placement,
-                            scheduler,
-                            &mut disks,
-                            &mut queue,
-                            &mut statuses,
-                            &mut requests_per_disk,
-                            &mut in_flight,
-                            now,
-                            &config.power,
-                        );
-                    }
-                    if pending.is_some() {
-                        let interval = batch_interval.expect("tick implies batch mode");
-                        queue.schedule(now + interval, Ev::BatchTick);
-                    }
-                }
-                Ev::Sample => {
-                    let watts: f64 = disks.iter().map(Disk::power_w).sum();
-                    power_timeline.push((now.as_secs_f64(), watts));
-                    // Keep sampling while real events remain (the only
-                    // pending sample is the one just popped, so a non-empty
-                    // queue or an unconsumed arrival means actual work is
-                    // still in flight).
-                    if !queue.is_empty() || pending.is_some() {
-                        let interval = config.power_sample.expect("sampling enabled");
-                        queue.schedule(now + interval, Ev::Sample);
-                    }
-                }
-                Ev::Disk(d, event) => {
-                    let outcome = disks[d as usize].handle(now, event);
-                    if let Some(done) = outcome.completed {
-                        let arrival = in_flight
-                            .remove(&done.id)
-                            .expect("completed request must be in flight");
-                        response.record(now.saturating_since(arrival));
-                    }
-                    for dir in outcome.directives {
-                        queue.schedule(now + dir.after, Ev::Disk(d, dir.event));
-                    }
-                }
-            }
+                    config,
+                    factory(),
+                    partition.island_disks(i),
+                    &rngs,
+                    false,
+                )
+            })
+            .collect();
+        let mut pending = pull_next(source, None)?;
+        while let Some(req) = pending {
+            pending = pull_next(source, Some(req.at))?;
+            engines[partition.data_island(req.data)].offer(req);
         }
-        peak_events = peak_events.max(queue.len());
-        peak_in_flight = peak_in_flight.max(in_flight.len() + batch_buffer.len());
+        let finished: Vec<FinishedIsland> =
+            engines.into_iter().map(IslandEngine::into_finished).collect();
+        return Ok(merge_finished(name, config, finished, 0));
     }
 
-    // Horizon: cover the post-trace drain window so normalization is
-    // comparable across schedulers.
-    let model = SavingModel::new(&config.power);
-    let horizon = last_event.max(trace_end + model.window());
-    let horizon_s = horizon.as_secs_f64();
+    // Contiguous island ranges per worker; the splitter routes arrivals
+    // to the owning worker's substream.
+    let group_ranges = spindown_sim::pool::shard_ranges(n_islands, workers);
+    let mut group_of_island = vec![0usize; n_islands];
+    for (g, range) in group_ranges.iter().enumerate() {
+        for i in range.clone() {
+            group_of_island[i] = g;
+        }
+    }
+    let route_partition = &partition;
+    let route_groups = &group_of_island;
+    let mut prev: Option<SimTime> = None;
+    let splitter: StreamSplitter<'_, Request, SourceError> = StreamSplitter::new(
+        Box::new(move || match pull_next(source, prev) {
+            Err(e) => Some(Err(e)),
+            Ok(None) => None,
+            Ok(Some(r)) => {
+                prev = Some(r.at);
+                Some(Ok(r))
+            }
+        }),
+        Box::new(move |r: &Request| route_groups[route_partition.data_island(r.data)]),
+        workers,
+        StreamSplitter::<Request, SourceError>::DEFAULT_CAPACITY,
+    );
 
-    let per_disk: Vec<DiskSummary> = disks
-        .iter()
-        .enumerate()
-        .map(|(i, d)| DiskSummary {
-            energy_j: d.energy_j(horizon),
-            state_fractions: d.meter().state_fractions(horizon),
-            spinups: d.meter().spinups(),
-            spindowns: d.meter().spindowns(),
-            requests: requests_per_disk[i],
-        })
-        .collect();
+    let first_error: std::sync::Mutex<Option<SourceError>> = std::sync::Mutex::new(None);
+    let finished: Vec<FinishedIsland> = std::thread::scope(|scope| {
+        let handles: Vec<_> = group_ranges
+            .iter()
+            .enumerate()
+            .map(|(g, range)| {
+                let range = range.clone();
+                let splitter = &splitter;
+                let partition = &partition;
+                let rngs = &rngs;
+                let first_error = &first_error;
+                scope.spawn(move || {
+                    let mut engines: Vec<IslandEngine<'_, Box<dyn Scheduler>>> = range
+                        .clone()
+                        .map(|i| {
+                            IslandEngine::new(
+                                placement,
+                                config,
+                                factory(),
+                                partition.island_disks(i),
+                                rngs,
+                                false,
+                            )
+                        })
+                        .collect();
+                    loop {
+                        match splitter.pull(g) {
+                            None => break,
+                            Some(Err(e)) => {
+                                // Mirror the serial abort: abandon partial
+                                // work, surface the (latched) error.
+                                first_error.lock().expect("error lock").get_or_insert(e);
+                                return Vec::new();
+                            }
+                            Some(Ok(req)) => {
+                                let island = partition.data_island(req.data);
+                                engines[island - range.start].offer(req);
+                            }
+                        }
+                    }
+                    engines
+                        .into_iter()
+                        .map(IslandEngine::into_finished)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("island worker panicked"))
+            .collect()
+    });
+    if let Some(e) = first_error.into_inner().expect("error lock") {
+        return Err(e);
+    }
+    let high_water = splitter.high_water();
+    Ok(merge_finished(name, config, finished, high_water))
+}
 
-    Ok(RunMetrics {
-        scheduler: scheduler.name().into(),
-        requests: arrivals,
-        horizon_s,
-        energy_j: per_disk.iter().map(|d| d.energy_j).sum(),
-        always_on_j: config.disks as f64 * config.power.idle_w * horizon_s,
-        spinups: per_disk.iter().map(|d| d.spinups).sum(),
-        spindowns: per_disk.iter().map(|d| d.spindowns).sum(),
-        response,
-        per_disk,
-        power_timeline,
-        peak_events,
-        peak_in_flight,
-    })
+/// [`run_system_streamed_with_jobs`] over an in-memory sorted slice — the
+/// parallel counterpart of [`run_system`].
+///
+/// # Panics
+///
+/// Panics if `requests` is not sorted by time or a scheduler returns an
+/// off-placement disk.
+pub fn run_system_with_jobs(
+    requests: &[Request],
+    placement: &(dyn LocationProvider + Sync),
+    factory: &(dyn Fn() -> Box<dyn Scheduler> + Sync),
+    config: &SystemConfig,
+    jobs: usize,
+) -> RunMetrics {
+    assert!(
+        requests.windows(2).all(|w| w[0].at <= w[1].at),
+        "requests must be sorted by time"
+    );
+    let mut source = requests.iter().map(|r| Ok::<Request, SourceError>(*r));
+    run_system_streamed_with_jobs(&mut source, placement, factory, config, jobs)
+        .expect("in-memory sorted slices cannot fail")
 }
 
 /// Pulls the next arrival from `source`, enforcing the non-decreasing
@@ -406,66 +946,12 @@ fn pull_next(
     }
 }
 
-/// Asks the scheduler to place `batch` and enqueues the results.
-#[allow(clippy::too_many_arguments)]
-fn dispatch(
-    batch: &[Request],
-    placement: &dyn LocationProvider,
-    scheduler: &mut dyn Scheduler,
-    disks: &mut [Disk],
-    queue: &mut EventQueue<Ev>,
-    statuses: &mut Vec<DiskStatus>,
-    requests_per_disk: &mut [u64],
-    in_flight: &mut HashMap<u64, SimTime>,
-    now: SimTime,
-    power: &PowerParams,
-) {
-    statuses.clear();
-    statuses.extend(disks.iter().map(|d| DiskStatus {
-        state: d.state(),
-        last_request_at: d.last_request_at(),
-        load: d.load(),
-    }));
-    let view = SystemView {
-        now,
-        params: power,
-        placement,
-        statuses: statuses.as_slice(),
-    };
-    let choices = scheduler.assign(batch, &view);
-    assert_eq!(
-        choices.len(),
-        batch.len(),
-        "scheduler must place every request"
-    );
-    for (req, disk_id) in batch.iter().zip(choices) {
-        assert!(
-            placement.locations(req.data).contains(&disk_id),
-            "scheduler placed request {} off-placement ({disk_id})",
-            req.index
-        );
-        requests_per_disk[disk_id.index()] += 1;
-        let prev = in_flight.insert(req.index as u64, req.at);
-        debug_assert!(prev.is_none(), "request id {} already in flight", req.index);
-        let lba = lba_of(req.data.0, disk_id.0, disks[disk_id.index()].params());
-        let directives = disks[disk_id.index()].enqueue(
-            now,
-            DiskRequest {
-                id: req.index as u64,
-                lba,
-                size: req.size,
-            },
-        );
-        for dir in directives {
-            queue.schedule(now + dir.after, Ev::Disk(disk_id.0, dir.event));
-        }
-    }
-}
-
 /// Deterministic pseudo-LBA of a data item on a disk: a hash of the
 /// (data, disk) pair spread over a nominal 300 GB address space. Real
 /// placements assign blocks to arbitrary physical locations; a hash
-/// reproduces the resulting random seek pattern.
+/// reproduces the resulting random seek pattern. Keyed by the **global**
+/// disk id, so island engines generate the serial engine's exact seek
+/// pattern.
 fn lba_of(data: u64, disk: u32, _params: &PowerParams) -> u64 {
     let mut h = SplitMix64::new(data ^ ((disk as u64) << 40) ^ 0x10CA);
     h.next_u64() % 300_000_000_000
@@ -721,6 +1207,71 @@ mod tests {
         for d in &m.per_disk {
             let sum: f64 = d.state_fractions.iter().sum();
             assert!((sum - 1.0).abs() < 1e-6, "fractions sum {sum}");
+        }
+    }
+
+    #[test]
+    fn hash_oracle_matches_slab_build() {
+        let reqs = requests(&[0.0, 0.1, 0.2, 5.0, 20.0, 20.0], &[0, 1, 0, 1, 0, 1]);
+        let placement = two_disk_placement();
+        let config = small_config(2, PolicyKind::Breakeven);
+        let mut slab_sched = HeuristicScheduler::new(CostFunction::default());
+        let slab = run_system(&reqs, &placement, &mut slab_sched, &config);
+        let mut hash_sched = HeuristicScheduler::new(CostFunction::default());
+        let mut source = reqs.iter().map(|r| Ok::<Request, SourceError>(*r));
+        let hash =
+            run_system_streamed_hash_oracle(&mut source, &placement, &mut hash_sched, &config)
+                .expect("in-memory source");
+        assert_eq!(slab, hash);
+    }
+
+    #[test]
+    fn with_jobs_single_island_equals_serial() {
+        // Both data items span both disks: one island, so the parallel
+        // entry point must take the serial path (operational fields
+        // included).
+        let reqs = requests(&[0.0, 1.0, 2.0, 50.0], &[0, 1, 0, 1]);
+        let placement = two_disk_placement();
+        let config = small_config(2, PolicyKind::Breakeven);
+        let mut sched = StaticScheduler;
+        let serial = run_system(&reqs, &placement, &mut sched, &config);
+        for jobs in [1, 4] {
+            let parallel = run_system_with_jobs(
+                &reqs,
+                &placement,
+                &|| Box::new(StaticScheduler),
+                &config,
+                jobs,
+            );
+            assert_eq!(serial, parallel, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn with_jobs_propagates_source_error() {
+        // Two singleton islands; the unsorted stream must surface the
+        // same error the serial engine reports.
+        let placement =
+            ExplicitPlacement::new(vec![vec![DiskId(0)], vec![DiskId(1)]], 2);
+        let config = small_config(2, PolicyKind::Breakeven);
+        let reqs = requests(&[1.0, 0.5], &[0, 1]);
+        let run = |jobs| {
+            let mut source = reqs.iter().map(|r| Ok::<Request, SourceError>(*r));
+            run_system_streamed_with_jobs(
+                &mut source,
+                &placement,
+                &|| Box::new(StaticScheduler),
+                &config,
+                jobs,
+            )
+        };
+        let serial_err = {
+            let mut source = reqs.iter().map(|r| Ok::<Request, SourceError>(*r));
+            let mut sched = StaticScheduler;
+            run_system_streamed(&mut source, &placement, &mut sched, &config).unwrap_err()
+        };
+        for jobs in [1, 2] {
+            assert_eq!(run(jobs).unwrap_err(), serial_err, "jobs {jobs}");
         }
     }
 }

@@ -146,6 +146,11 @@ impl OnlineStats {
 /// `[min_value · growth^i, min_value · growth^(i+1))`. With the default
 /// configuration (`min = 10 µs`, `growth = 1.25`) relative quantile error
 /// is bounded by 25 %, plenty for the paper's log-scale plots.
+/// Internally the exact-value summary (mean / max) is kept as an integer
+/// microsecond sum plus a float maximum rather than a Welford accumulator,
+/// so that [`LatencyHistogram::merge`] is *exactly* order-invariant: merging
+/// per-island histograms in any grouping reproduces the serial accumulation
+/// bit for bit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyHistogram {
     min_value: f64,
@@ -153,7 +158,13 @@ pub struct LatencyHistogram {
     counts: Vec<u64>,
     underflow: u64,
     total: u64,
-    stats: OnlineStats,
+    /// Exact sum of recorded values, quantized to integer microseconds
+    /// (the simulator's native resolution). `u128` cannot overflow:
+    /// 2^64 events of 2^64 µs each still fit.
+    sum_us: u128,
+    /// Largest recorded value in seconds (0 when empty; values are
+    /// durations, so never negative).
+    max_s: f64,
 }
 
 impl Default for LatencyHistogram {
@@ -179,7 +190,8 @@ impl LatencyHistogram {
             counts: vec![0; buckets],
             underflow: 0,
             total: 0,
-            stats: OnlineStats::new(),
+            sum_us: 0,
+            max_s: 0.0,
         }
     }
 
@@ -188,10 +200,12 @@ impl LatencyHistogram {
         self.record_secs(d.as_secs_f64());
     }
 
-    /// Records a value in seconds.
+    /// Records a value in seconds. The value is quantized to the nearest
+    /// microsecond for the mean (bucketing and max use the raw value).
     pub fn record_secs(&mut self, secs: f64) {
         self.total += 1;
-        self.stats.push(secs);
+        self.sum_us += SimDuration::from_secs_f64(secs).as_micros() as u128;
+        self.max_s = self.max_s.max(secs);
         if secs < self.min_value {
             self.underflow += 1;
             return;
@@ -206,18 +220,19 @@ impl LatencyHistogram {
         self.total
     }
 
-    /// Mean of the *exact* recorded values (not bucket midpoints).
+    /// Mean of the recorded values at microsecond resolution (not bucket
+    /// midpoints).
     pub fn mean(&self) -> f64 {
-        self.stats.mean()
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64 / 1e6
+        }
     }
 
     /// Largest exact recorded value.
     pub fn max(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.stats.max()
-        }
+        self.max_s
     }
 
     /// Approximate quantile `q ∈ [0,1]`, returned in seconds. Uses the
@@ -239,7 +254,7 @@ impl LatencyHistogram {
                 return self.bucket_upper(i);
             }
         }
-        self.stats.max()
+        self.max_s
     }
 
     fn bucket_upper(&self, i: usize) -> f64 {
@@ -293,10 +308,16 @@ impl LatencyHistogram {
         self.counts.fill(0);
         self.underflow = 0;
         self.total = 0;
-        self.stats = OnlineStats::new();
+        self.sum_us = 0;
+        self.max_s = 0.0;
     }
 
     /// Merges another histogram with identical bucket configuration.
+    ///
+    /// The merge is *exact*: every field is an integer sum or a float
+    /// maximum, so `a.merge(&b)` equals recording `b`'s observations into
+    /// `a` directly, bit for bit, regardless of how the observations were
+    /// partitioned.
     ///
     /// # Panics
     ///
@@ -317,7 +338,8 @@ impl LatencyHistogram {
         }
         self.underflow += other.underflow;
         self.total += other.total;
-        self.stats.merge(&other.stats);
+        self.sum_us += other.sum_us;
+        self.max_s = self.max_s.max(other.max_s);
     }
 }
 
@@ -567,6 +589,73 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert!(a.quantile(1.0) >= 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_bit_exact_vs_sequential() {
+        // Any partition of the observations, merged in any grouping, must
+        // equal the serial accumulation exactly (PartialEq on all fields).
+        let values: Vec<f64> = (0..500)
+            .map(|i| 1e-5 * (1.0 + i as f64).powf(1.7) * ((i % 7) as f64 + 0.3))
+            .collect();
+        let mut serial = LatencyHistogram::default();
+        for &v in &values {
+            serial.record_secs(v);
+        }
+        for split in [1, 137, 250, 499] {
+            let mut a = LatencyHistogram::default();
+            let mut b = LatencyHistogram::default();
+            for &v in &values[..split] {
+                a.record_secs(v);
+            }
+            for &v in &values[split..] {
+                b.record_secs(v);
+            }
+            a.merge(&b);
+            assert_eq!(a, serial, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn histogram_merge_empty_sides() {
+        let mut a = LatencyHistogram::default();
+        a.record_secs(0.25);
+        a.record_secs(3.0);
+        let reference = a.clone();
+        // Empty right-hand side is the identity.
+        a.merge(&LatencyHistogram::default());
+        assert_eq!(a, reference);
+        // Merging into an empty histogram reproduces the other side.
+        let mut empty = LatencyHistogram::default();
+        empty.merge(&reference);
+        assert_eq!(empty, reference);
+        // Empty-with-empty stays indistinguishable from fresh.
+        let mut e2 = LatencyHistogram::default();
+        e2.merge(&LatencyHistogram::default());
+        assert_eq!(e2, LatencyHistogram::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn histogram_merge_rejects_mismatched_geometry() {
+        let mut a = LatencyHistogram::new(0.001, 2.0, 16);
+        let b = LatencyHistogram::new(0.001, 2.0, 32);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn histogram_record_duration_matches_record_secs() {
+        // `record(d)` and `record_secs(d.as_secs_f64())` are the same
+        // operation: the µs quantization round-trips exactly.
+        let mut via_duration = LatencyHistogram::default();
+        let mut via_secs = LatencyHistogram::default();
+        for us in [0u64, 1, 17, 999, 1_000_000, 14_700_000_123] {
+            let d = SimDuration::from_micros(us);
+            via_duration.record(d);
+            via_secs.record_secs(d.as_secs_f64());
+        }
+        assert_eq!(via_duration, via_secs);
+        assert!((via_duration.mean() - via_secs.mean()).abs() == 0.0);
     }
 
     #[test]

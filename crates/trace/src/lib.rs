@@ -27,6 +27,7 @@
 
 pub mod record;
 pub mod spc;
+pub mod split;
 pub mod srt;
 pub mod stats;
 pub mod stream;
@@ -34,6 +35,7 @@ pub mod synth;
 pub mod transform;
 
 pub use record::{DataId, OpKind, Trace, TraceRecord};
+pub use split::StreamSplitter;
 pub use stats::TraceStats;
 pub use stream::{ErasedStream, ParsePolicy, RecordStream, SkipCount, StreamError};
 pub use synth::{CelloLike, FinancialLike, TraceGenerator};

@@ -1,0 +1,278 @@
+//! Deterministic fan-out of one sorted stream into per-group substreams.
+//!
+//! [`StreamSplitter`] routes items pulled from a single upstream source to
+//! `n` consumer groups (one per island event loop) **without materializing
+//! the stream**: each group owns a bounded lookahead buffer, and whichever
+//! consumer needs an item next drives the shared source until its own next
+//! item appears, parking foreign items in their groups' buffers.
+//!
+//! Properties:
+//!
+//! * **Order-preserving** — each group receives exactly its items, in
+//!   upstream order (a `reading` flag serializes the read-route-park
+//!   transaction, so per-group FIFO order is independent of thread timing).
+//! * **Bounded** — a group's buffer never exceeds the configured capacity;
+//!   the reader blocks until the lagging consumer drains. The observed
+//!   maximum is reported by [`StreamSplitter::high_water`].
+//! * **Fail-fast** — an upstream error is latched and returned to every
+//!   group, matching the serial pipeline's abort semantics.
+//!
+//! Deadlock freedom relies on one contract: **every group is consumed by a
+//! live thread until it yields `None` or an error**. The island runner
+//! guarantees this by construction (each worker loops on `pull` until its
+//! substream ends).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Shared state behind the splitter's mutex.
+struct SplitState<'a, T, E> {
+    /// The single upstream source; `None` result means exhausted.
+    source: Box<dyn FnMut() -> Option<Result<T, E>> + Send + 'a>,
+    /// Maps an item to its consumer group, `0..n_groups`.
+    route: Box<dyn FnMut(&T) -> usize + Send + 'a>,
+    /// Per-group lookahead buffers.
+    buffers: Vec<VecDeque<T>>,
+    /// Upstream exhausted.
+    done: bool,
+    /// Latched upstream error, returned to every group.
+    error: Option<E>,
+    /// A consumer is currently driving the source.
+    reading: bool,
+    /// Largest buffer length ever observed (diagnostic).
+    high_water: usize,
+}
+
+/// Splits one sorted upstream into per-group sorted substreams with
+/// bounded lookahead. See the [module docs](self) for the contract.
+pub struct StreamSplitter<'a, T, E> {
+    state: Mutex<SplitState<'a, T, E>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<'a, T, E: Clone> StreamSplitter<'a, T, E> {
+    /// Default per-group lookahead bound.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a splitter over `source` routing into `n_groups` buffers of
+    /// at most `capacity` items each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_groups == 0` or `capacity == 0`.
+    pub fn new(
+        source: Box<dyn FnMut() -> Option<Result<T, E>> + Send + 'a>,
+        route: Box<dyn FnMut(&T) -> usize + Send + 'a>,
+        n_groups: usize,
+        capacity: usize,
+    ) -> Self {
+        assert!(n_groups > 0, "need at least one group");
+        assert!(capacity > 0, "lookahead capacity must be positive");
+        StreamSplitter {
+            state: Mutex::new(SplitState {
+                source,
+                route,
+                buffers: (0..n_groups).map(|_| VecDeque::new()).collect(),
+                done: false,
+                error: None,
+                reading: false,
+                high_water: 0,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Next item for `group`: `Some(Ok(item))` in upstream order,
+    /// `Some(Err(e))` if the upstream failed (latched — every later call
+    /// returns the same error), `None` once the upstream is exhausted and
+    /// the group's buffer is drained.
+    pub fn pull(&self, group: usize) -> Option<Result<T, E>> {
+        let mut st = self.state.lock().expect("splitter lock poisoned");
+        loop {
+            if let Some(item) = st.buffers[group].pop_front() {
+                // A parked reader may be waiting for this buffer to drain.
+                self.ready.notify_all();
+                return Some(Ok(item));
+            }
+            if let Some(e) = &st.error {
+                return Some(Err(e.clone()));
+            }
+            if st.done {
+                return None;
+            }
+            if st.reading {
+                // Another consumer is driving the source; it will either
+                // park an item for us or finish the stream.
+                st = self.ready.wait(st).expect("splitter lock poisoned");
+                continue;
+            }
+            // Become the reader and drive the source until our own next
+            // item appears (or the stream ends).
+            st.reading = true;
+            let outcome = loop {
+                match (st.source)() {
+                    None => {
+                        st.done = true;
+                        break None;
+                    }
+                    Some(Err(e)) => {
+                        st.error = Some(e.clone());
+                        break Some(Err(e));
+                    }
+                    Some(Ok(item)) => {
+                        let g = (st.route)(&item);
+                        debug_assert!(g < st.buffers.len(), "route out of range");
+                        if g == group {
+                            break Some(Ok(item));
+                        }
+                        // Park the foreign item, blocking while its group
+                        // lags `capacity` items behind. Its consumer is
+                        // live by contract and pops under this same lock,
+                        // so the wait always terminates.
+                        while st.buffers[g].len() >= self.capacity {
+                            st = self.ready.wait(st).expect("splitter lock poisoned");
+                        }
+                        st.buffers[g].push_back(item);
+                        st.high_water = st.high_water.max(st.buffers[g].len());
+                    }
+                }
+            };
+            st.reading = false;
+            self.ready.notify_all();
+            return outcome;
+        }
+    }
+
+    /// Largest per-group buffer length observed so far. Call after all
+    /// groups have drained for the run's lookahead high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.state
+            .lock()
+            .expect("splitter lock poisoned")
+            .high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_source<T: Send + 'static>(
+        items: Vec<Result<T, String>>,
+    ) -> Box<dyn FnMut() -> Option<Result<T, String>> + Send> {
+        let mut it = items.into_iter();
+        Box::new(move || it.next())
+    }
+
+    #[test]
+    fn single_group_passthrough() {
+        let s = StreamSplitter::new(
+            vec_source((0..100).map(Ok).collect()),
+            Box::new(|_: &i32| 0),
+            1,
+            8,
+        );
+        let mut out = Vec::new();
+        while let Some(r) = s.pull(0) {
+            out.push(r.unwrap());
+        }
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert_eq!(s.high_water(), 0);
+    }
+
+    #[test]
+    fn routes_preserve_per_group_order() {
+        let n: i32 = 10_000;
+        let s = StreamSplitter::new(
+            vec_source((0..n).map(Ok).collect()),
+            Box::new(|x: &i32| (*x % 3) as usize),
+            3,
+            StreamSplitter::<i32, String>::DEFAULT_CAPACITY,
+        );
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3usize)
+                .map(|g| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        while let Some(r) = s.pull(g) {
+                            out.push(r.unwrap());
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for (g, h) in handles.into_iter().enumerate() {
+                let got = h.join().unwrap();
+                let want: Vec<i32> = (0..n).filter(|x| (*x % 3) as usize == g).collect();
+                assert_eq!(got, want, "group {g}");
+            }
+        });
+        assert!(s.high_water() > 0);
+    }
+
+    #[test]
+    fn bounded_buffers_block_instead_of_growing() {
+        // Group 1 gets the first 50 items; group 0's single item comes
+        // last. Group 0 must drive the source through all of group 1's
+        // items, respecting the capacity bound via backpressure.
+        let mut items: Vec<Result<i32, String>> = (0..50).map(|i| Ok(i * 2 + 1)).collect();
+        items.push(Ok(0));
+        let cap = 4;
+        let s = StreamSplitter::new(
+            vec_source(items),
+            Box::new(|x: &i32| (*x % 2) as usize),
+            2,
+            cap,
+        );
+        std::thread::scope(|scope| {
+            let s0 = &s;
+            let slow = scope.spawn(move || {
+                let mut out = Vec::new();
+                while let Some(r) = s0.pull(1) {
+                    out.push(r.unwrap());
+                }
+                out
+            });
+            assert_eq!(s.pull(0), Some(Ok(0)));
+            assert_eq!(s.pull(0), None);
+            let odd = slow.join().unwrap();
+            assert_eq!(odd.len(), 50);
+        });
+        assert!(s.high_water() <= cap, "high water {}", s.high_water());
+    }
+
+    #[test]
+    fn upstream_error_latches_for_every_group() {
+        let s = StreamSplitter::new(
+            vec_source(vec![Ok(0), Ok(1), Err("boom".to_string())]),
+            Box::new(|x: &i32| *x as usize),
+            2,
+            8,
+        );
+        assert_eq!(s.pull(0), Some(Ok(0)));
+        // Pulling group 0 again drives past item 1 (parked for group 1)
+        // into the error.
+        assert_eq!(s.pull(0), Some(Err("boom".to_string())));
+        // Group 1 still sees its buffered item first, then the error.
+        assert_eq!(s.pull(1), Some(Ok(1)));
+        assert_eq!(s.pull(1), Some(Err("boom".to_string())));
+        assert_eq!(s.pull(0), Some(Err("boom".to_string())));
+    }
+
+    #[test]
+    fn exhaustion_yields_none_for_all_groups() {
+        let s = StreamSplitter::new(
+            vec_source(vec![Ok(1)]),
+            Box::new(|_: &i32| 1),
+            2,
+            8,
+        );
+        assert_eq!(s.pull(0), None);
+        assert_eq!(s.pull(1), Some(Ok(1)));
+        assert_eq!(s.pull(1), None);
+        assert_eq!(s.pull(0), None);
+    }
+}
