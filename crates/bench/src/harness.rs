@@ -39,7 +39,7 @@ use spindown_trace::spc::{self, SpcStream};
 use spindown_trace::synth::TraceGenerator;
 use spindown_trace::{ParsePolicy, StreamError};
 
-use crate::grids::EvalGrid;
+use crate::grids::{EvalGrid, PolicyGrid};
 use crate::workload::{self, Scale};
 
 /// Knobs of one harness run.
@@ -958,6 +958,32 @@ pub fn run_benches(config: &BenchConfig) -> BenchReport {
                     config.jobs,
                 ));
             }),
+        });
+    }
+
+    // Scenario × spin-down-policy sweep: six event-loop simulations
+    // (diurnal and flash-crowd, each under 2CPM / adaptive / quantile).
+    // Besides the timing, the run yields the headline quality ratio
+    // `predictive_vs_2cpm_energy_ratio` — quantile-policy energy over
+    // 2CPM energy on the flash-crowd scenario (< 1.0 means the learned
+    // policy beats the fixed breakeven; the grids-crate acceptance test
+    // additionally pins equal-or-better p99).
+    if want("policy_sweep_medium") {
+        let scale = Scale::policy_sweep();
+        let mut ratio = f64::NAN;
+        let stats = time_ns(warmup, iters, || {
+            let grid = PolicyGrid::compute_with_jobs(scale, config.seed, config.jobs);
+            ratio = grid.cell("flash-crowd", "quantile").metrics.energy_j
+                / grid.cell("flash-crowd", "2cpm").metrics.energy_j;
+            black_box(grid);
+        });
+        entries.push(BenchEntry {
+            name: "policy_sweep_medium",
+            stats,
+        });
+        derived.push(DerivedEntry {
+            name: "predictive_vs_2cpm_energy_ratio",
+            value: ratio,
         });
     }
 

@@ -3,7 +3,10 @@
 use spindown_core::experiment::requests_from_trace;
 use spindown_core::model::Request;
 use spindown_trace::synth::arrivals::OnOffProcess;
-use spindown_trace::synth::{CelloLike, FinancialLike, TraceGenerator};
+use spindown_trace::synth::{
+    CelloLike, DiurnalLike, DiurnalProcess, FinancialLike, FlashCrowdLike, FlashCrowdProcess,
+    TraceGenerator,
+};
 
 /// Experiment scale: the paper's full rig or a fast smoke-test variant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +55,20 @@ impl Scale {
     pub fn span_s(&self) -> f64 {
         self.requests as f64 / self.rate
     }
+
+    /// The scenario × policy sweep scale: ~1850 s of trace (≈10
+    /// flash-crowd cycles, ≈2 diurnal periods) on a fleet small enough
+    /// that six event-loop simulations stay a sub-second bench
+    /// iteration, but sparse enough per disk that quiet-period idle
+    /// gaps dwarf the spin-down breakeven.
+    pub fn policy_sweep() -> Self {
+        Scale {
+            requests: 12_000,
+            data_items: 4_000,
+            disks: 16,
+            rate: 6.5,
+        }
+    }
 }
 
 /// The Cello-like generator at a given scale — exposed so streaming
@@ -87,6 +104,54 @@ fn on_fraction() -> f64 {
     let e_on = 1.5 * 2.0 / 0.5;
     let e_off = 1.3 * 30.0 / 0.3;
     e_on / (e_on + e_off)
+}
+
+/// The diurnal workload at a given scale: sinusoid-modulated Poisson
+/// arrivals averaging `scale.rate`. The 900 s period (shorter than the
+/// trace-like default) lets the policy-sweep span cover two full
+/// day/night cycles, so adaptive policies see both regimes.
+pub fn diurnal(scale: Scale, seed: u64) -> Vec<Request> {
+    let trace = DiurnalLike {
+        requests: scale.requests,
+        data_items: scale.data_items,
+        arrivals: DiurnalProcess {
+            base_rate: scale.rate,
+            depth: 0.9,
+            period_s: 900.0,
+            phase: -std::f64::consts::FRAC_PI_2,
+        },
+        ..DiurnalLike::default()
+    }
+    .generate(seed);
+    requests_from_trace(&trace)
+}
+
+/// The flash-crowd workload at a given scale: a background so sparse
+/// that each disk's quiet-period inter-arrival mean sits well above the
+/// spin-down breakeven (~16 s) — the regime where the quantile policy's
+/// conditional-tail test can actually fire (an exponential quiet gap of
+/// mean `m` passes a confidence of `c` only when `e^(-TB/m) >= c`) —
+/// plus 10 s bursts every ~180 s carrying the rest of `scale.rate`.
+pub fn flash_crowd(scale: Scale, seed: u64) -> Vec<Request> {
+    let every_s = 180.0;
+    let duration_s = 10.0;
+    // ~100 s mean quiet gap per disk.
+    let base = 0.01 * scale.disks as f64;
+    let burst = (scale.rate - base) * (every_s + duration_s) / duration_s;
+    assert!(burst > 0.0, "scale.rate too low for the background floor");
+    let trace = FlashCrowdLike {
+        requests: scale.requests,
+        data_items: scale.data_items,
+        arrivals: FlashCrowdProcess {
+            base_rate: base,
+            burst_rate: burst,
+            burst_every_s: every_s,
+            burst_duration_s: duration_s,
+        },
+        ..FlashCrowdLike::default()
+    }
+    .generate(seed);
+    requests_from_trace(&trace)
 }
 
 /// The Financial1-like workload at a given scale: same aggregate rate as

@@ -19,7 +19,10 @@ SOURCE (choose one):
                              streamed line by line (constant memory)
     --lenient                skip malformed trace lines instead of failing;
                              the report shows the skipped-line count
-    --synthetic <cello|financial>   generate a workload (default: cello)
+    --synthetic <cello|financial|diurnal|flash-crowd>
+                             generate a workload (default: cello);
+                             diurnal = sinusoid-modulated arrivals,
+                             flash-crowd = sparse background + bursts
 
 WORKLOAD (synthetic only):
     --requests <n>           number of requests      [default: 8000]
@@ -30,7 +33,9 @@ SYSTEM:
     --disks <n>              number of disks         [default: 60]
     --replication <n>        copies per block (1-..) [default: 3]
     --zipf <z>               placement skew 0..1     [default: 1.0]
-    --policy <always-on|2cpm|adaptive>               [default: 2cpm]
+    --policy <always-on|2cpm|adaptive|quantile>      [default: 2cpm]
+    --fleet <uniform|mixed>  power presets: uniform = all Barracuda,
+                             mixed = odd disks Ultrastar [default: uniform]
     --discipline <fcfs|sstf|elevator>                [default: fcfs]
 
 SCHEDULER (simulate):
@@ -138,6 +143,10 @@ pub enum SourceArg {
     SyntheticCello,
     /// Financial1-like synthetic workload.
     SyntheticFinancial,
+    /// Diurnal (sinusoid-modulated) synthetic workload.
+    SyntheticDiurnal,
+    /// Flash-crowd (background + bursts) synthetic workload.
+    SyntheticFlashCrowd,
 }
 
 /// Subcommand.
@@ -179,6 +188,8 @@ pub struct Cli {
     pub zipf: f64,
     /// Power policy name.
     pub policy: String,
+    /// Fleet power-preset mix (`uniform` or `mixed`).
+    pub fleet: String,
     /// Queue discipline.
     pub discipline: QueueDiscipline,
     /// Scheduler for `simulate`.
@@ -226,6 +237,7 @@ impl Default for Cli {
             replication: 3,
             zipf: 1.0,
             policy: "2cpm".into(),
+            fleet: "uniform".into(),
             discipline: QueueDiscipline::Fcfs,
             scheduler: SchedulerArg::Heuristic,
             alpha: 0.2,
@@ -304,6 +316,8 @@ impl Cli {
                     cli.source = match value("--synthetic")?.as_str() {
                         "cello" => SourceArg::SyntheticCello,
                         "financial" => SourceArg::SyntheticFinancial,
+                        "diurnal" => SourceArg::SyntheticDiurnal,
+                        "flash-crowd" => SourceArg::SyntheticFlashCrowd,
                         _ => return Err(ParseError::BadValue("--synthetic".into())),
                     }
                 }
@@ -319,10 +333,17 @@ impl Cli {
                 "--zipf" => cli.zipf = parse_float(&value("--zipf")?, "--zipf")?,
                 "--policy" => {
                     let v = value("--policy")?;
-                    if !matches!(v.as_str(), "always-on" | "2cpm" | "adaptive") {
+                    if !matches!(v.as_str(), "always-on" | "2cpm" | "adaptive" | "quantile") {
                         return Err(ParseError::BadValue("--policy".into()));
                     }
                     cli.policy = v;
+                }
+                "--fleet" => {
+                    let v = value("--fleet")?;
+                    if !matches!(v.as_str(), "uniform" | "mixed") {
+                        return Err(ParseError::BadValue("--fleet".into()));
+                    }
+                    cli.fleet = v;
                 }
                 "--discipline" => {
                     cli.discipline = match value("--discipline")?.as_str() {
@@ -525,6 +546,28 @@ mod tests {
         assert_eq!(
             Cli::parse(&argv("bench --iters 0")),
             Err(ParseError::BadValue("--iters".into()))
+        );
+    }
+
+    #[test]
+    fn parses_scenario_and_fleet_flags() {
+        let cli = Cli::parse(&argv(
+            "simulate --synthetic flash-crowd --policy quantile --fleet mixed",
+        ))
+        .unwrap();
+        assert_eq!(cli.source, SourceArg::SyntheticFlashCrowd);
+        assert_eq!(cli.policy, "quantile");
+        assert_eq!(cli.fleet, "mixed");
+        let cli = Cli::parse(&argv("simulate --synthetic diurnal")).unwrap();
+        assert_eq!(cli.source, SourceArg::SyntheticDiurnal);
+        assert_eq!(cli.fleet, "uniform", "default fleet is uniform");
+        assert_eq!(
+            Cli::parse(&argv("simulate --fleet exotic")),
+            Err(ParseError::BadValue("--fleet".into()))
+        );
+        assert_eq!(
+            Cli::parse(&argv("simulate --synthetic tsunami")),
+            Err(ParseError::BadValue("--synthetic".into()))
         );
     }
 

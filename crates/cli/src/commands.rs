@@ -28,8 +28,9 @@ use spindown_trace::spc::SpcStream;
 use spindown_trace::srt::SrtStream;
 use spindown_trace::stats::TraceStats;
 use spindown_trace::stream::{collect_trace, EnsureSorted, SkipCount};
+use spindown_disk::power::PowerParams;
 use spindown_trace::synth::arrivals::OnOffProcess;
-use spindown_trace::synth::{CelloLike, FinancialLike};
+use spindown_trace::synth::{CelloLike, DiurnalLike, FinancialLike, FlashCrowdLike};
 use spindown_trace::{ParsePolicy, StreamError};
 
 use crate::args::{Cli, Command, SchedulerArg, SourceArg};
@@ -97,6 +98,8 @@ enum Workload {
     },
     Cello(CelloLike, u64),
     Financial(FinancialLike, u64),
+    Diurnal(DiurnalLike, u64),
+    FlashCrowd(FlashCrowdLike, u64),
 }
 
 /// One streaming pass over a workload's records.
@@ -193,6 +196,31 @@ impl Workload {
                 },
                 cli.seed,
             )),
+            SourceArg::SyntheticDiurnal => {
+                // The sinusoid averages out over whole periods, so the
+                // base rate IS the mean rate.
+                let mut like = DiurnalLike {
+                    requests: cli.requests,
+                    data_items: cli.data_items,
+                    ..DiurnalLike::default()
+                };
+                like.arrivals.base_rate = cli.rate;
+                Ok(Workload::Diurnal(like, cli.seed))
+            }
+            SourceArg::SyntheticFlashCrowd => {
+                // Scale background and burst intensity together so the
+                // quiet/burst contrast (the scenario's point) survives
+                // any --rate while the mean matches it.
+                let mut like = FlashCrowdLike {
+                    requests: cli.requests,
+                    data_items: cli.data_items,
+                    ..FlashCrowdLike::default()
+                };
+                let scale = cli.rate / like.arrivals.mean_rate();
+                like.arrivals.base_rate *= scale;
+                like.arrivals.burst_rate *= scale;
+                Ok(Workload::FlashCrowd(like, cli.seed))
+            }
         }
     }
 
@@ -212,6 +240,8 @@ impl Workload {
             }
             Workload::Cello(gen, seed) => Ok(RecordPass::Synth(Box::new(gen.stream(*seed)))),
             Workload::Financial(gen, seed) => Ok(RecordPass::Synth(Box::new(gen.stream(*seed)))),
+            Workload::Diurnal(gen, seed) => Ok(RecordPass::Synth(Box::new(gen.stream(*seed)))),
+            Workload::FlashCrowd(gen, seed) => Ok(RecordPass::Synth(Box::new(gen.stream(*seed)))),
         }
     }
 }
@@ -445,7 +475,18 @@ fn spec(cli: &Cli, scheduler: SchedulerArg) -> ExperimentSpec {
             policy: match cli.policy.as_str() {
                 "always-on" => PolicyKind::AlwaysOn,
                 "adaptive" => PolicyKind::Adaptive,
+                "quantile" => PolicyKind::Quantile,
                 _ => PolicyKind::Breakeven,
+            },
+            power_overrides: if cli.fleet == "mixed" {
+                // Mixed fleet: odd disks run the Ultrastar preset, evens
+                // stay on the baseline Barracuda.
+                (0..cli.disks)
+                    .filter(|d| d % 2 == 1)
+                    .map(|d| (d, PowerParams::ultrastar()))
+                    .collect()
+            } else {
+                Vec::new()
             },
             discipline: cli.discipline,
             ..SystemConfig::default()
@@ -572,6 +613,22 @@ mod tests {
         for sched in ["random", "static", "heuristic", "wsc", "mwis", "mwis-r"] {
             let report = execute(&small_cli(&format!("--scheduler {sched}"))).unwrap();
             assert!(report.contains(&format!("scheduler: {sched}")), "{sched}");
+        }
+    }
+
+    #[test]
+    fn simulate_scenario_policy_matrix() {
+        for scenario in ["diurnal", "flash-crowd"] {
+            for policy in ["2cpm", "adaptive", "quantile"] {
+                let report = execute(&small_cli(&format!(
+                    "--synthetic {scenario} --policy {policy} --fleet mixed"
+                )))
+                .unwrap();
+                assert!(
+                    report.contains(&format!("policy {policy}")),
+                    "{scenario}/{policy}: {report}"
+                );
+            }
         }
     }
 

@@ -28,7 +28,9 @@ use std::collections::HashMap;
 
 use spindown_disk::disk::{Disk, DiskEvent, DiskRequest};
 use spindown_disk::mechanics::{DiskGeometry, Mechanics};
-use spindown_disk::policy::{AdaptiveThreshold, AlwaysOn, FixedThreshold, IdlePolicy};
+use spindown_disk::policy::{
+    AdaptiveThreshold, AlwaysOn, FixedThreshold, IdlePolicy, QuantileThreshold, StormDamper,
+};
 use spindown_disk::power::PowerParams;
 use spindown_disk::queue::QueueDiscipline;
 use spindown_disk::state::DiskPowerState;
@@ -58,6 +60,36 @@ pub enum PolicyKind {
     /// Adaptive threshold (ablation; see
     /// [`spindown_disk::policy::AdaptiveThreshold`]).
     Adaptive,
+    /// Predictive quantile threshold with spin-up-storm damping (see
+    /// [`spindown_disk::policy::QuantileThreshold`]).
+    Quantile,
+}
+
+/// Initial power state for a fleet running `policy`: always-on disks
+/// start spinning (they never transition), everything else starts in
+/// standby (paper §2.3). Single source of truth for both the build path
+/// ([`build_disk`]) and the engine's status placeholder, so new policy
+/// kinds cannot drift between the two.
+pub fn initial_state(policy: &PolicyKind) -> DiskPowerState {
+    match policy {
+        PolicyKind::AlwaysOn => DiskPowerState::Idle,
+        _ => DiskPowerState::Standby,
+    }
+}
+
+/// A mid-run disk failure (replica loss): from `at` onward disk `disk`
+/// accepts no new requests. Requests whose scheduler choice lands on a
+/// failed disk are rerouted to the first surviving replica in placement
+/// order; if every replica of a data item has failed, the request is
+/// dropped (counted as an arrival, never serviced). Work already queued
+/// on the disk before `at` still completes — the model is "stop sending
+/// I/O", not amnesia.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiskFailure {
+    /// Global disk index.
+    pub disk: u32,
+    /// Failure time.
+    pub at: SimTime,
 }
 
 /// Static configuration of a simulated storage system.
@@ -76,8 +108,31 @@ pub struct SystemConfig {
     /// When set, sample the system's total rate-power draw at this
     /// interval into [`RunMetrics::power_timeline`].
     pub power_sample: Option<SimDuration>,
+    /// Per-disk [`PowerParams`] overrides for heterogeneous fleets:
+    /// `(disk, params)` pairs consulted by
+    /// [`SystemConfig::effective_power`]. Disks without an entry use
+    /// [`SystemConfig::power`]. Overrides shape each disk's state
+    /// machine, policy thresholds, energy meter and the always-on
+    /// normalization baseline; the schedulers' cost model and the saving
+    /// window keep the fleet-wide baseline `power` (see DESIGN.md §14).
+    pub power_overrides: Vec<(u32, PowerParams)>,
+    /// Mid-run disk failures honored by the engines at dispatch time.
+    pub failures: Vec<DiskFailure>,
     /// Seed for all stochastic components (mechanics rotation phases).
     pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The power model governing disk `disk`: its override if one is
+    /// configured (first match wins), else the fleet baseline. Linear
+    /// scan — called at build/merge time only, never on the hot path.
+    pub fn effective_power(&self, disk: u32) -> &PowerParams {
+        self.power_overrides
+            .iter()
+            .find(|(d, _)| *d == disk)
+            .map(|(_, p)| p)
+            .unwrap_or(&self.power)
+    }
 }
 
 impl Default for SystemConfig {
@@ -89,6 +144,8 @@ impl Default for SystemConfig {
             policy: PolicyKind::Breakeven,
             discipline: QueueDiscipline::Fcfs,
             power_sample: None,
+            power_overrides: Vec::new(),
+            failures: Vec::new(),
             seed: 0,
         }
     }
@@ -237,27 +294,40 @@ fn disk_rngs(config: &SystemConfig) -> Vec<SimRng> {
     (0..config.disks).map(|d| root.fork(d as u64)).collect()
 }
 
-fn build_disk(config: &SystemConfig, rng: SimRng) -> Disk {
-    let initial_state = match config.policy {
-        PolicyKind::AlwaysOn => DiskPowerState::Idle,
-        _ => DiskPowerState::Standby,
-    };
+/// Confidence knob for [`PolicyKind::Quantile`]: spin down early only
+/// when at least this fraction of idle periods that survived the
+/// candidate threshold also outlast breakeven.
+const QUANTILE_CONFIDENCE: f64 = 0.8;
+
+/// Builds global disk `disk` of the fleet. Each disk gets its
+/// *effective* power model ([`SystemConfig::effective_power`]) and a
+/// fresh policy instance — policy state is strictly per-disk, which is
+/// what keeps adaptive/quantile fleets island-parallel-safe: a disk's
+/// learned state depends only on its own request history, identical
+/// under any island-to-worker assignment.
+fn build_disk(config: &SystemConfig, disk: u32, rng: SimRng) -> Disk {
+    let params = config.effective_power(disk);
     let policy: Box<dyn IdlePolicy> = match &config.policy {
         PolicyKind::AlwaysOn => Box::new(AlwaysOn),
-        PolicyKind::Breakeven => Box::new(FixedThreshold::breakeven(&config.power)),
+        PolicyKind::Breakeven => Box::new(FixedThreshold::breakeven(params)),
         PolicyKind::FixedTimeout(t) => Box::new(FixedThreshold::new(*t)),
         PolicyKind::Adaptive => Box::new(AdaptiveThreshold::new(
             0.25,
             1.0,
             SimDuration::from_secs(1),
-            config.power.breakeven() * 4,
+            params.breakeven() * 4,
         )),
+        PolicyKind::Quantile => Box::new(
+            QuantileThreshold::new(params, QUANTILE_CONFIDENCE).with_damper(
+                StormDamper::for_disk(params.breakeven() * 4, disk, config.disks),
+            ),
+        ),
     };
     Disk::with_discipline(
-        config.power.clone(),
+        params.clone(),
         Mechanics::new(config.geometry.clone(), rng),
         policy,
-        initial_state,
+        initial_state(&config.policy),
         SimTime::ZERO,
         config.discipline,
     )
@@ -297,6 +367,10 @@ struct IslandEngine<'a, S: Scheduler> {
     /// island's own entries are ever refreshed (schedulers read statuses
     /// only for a request's replica locations, all of which are local).
     statuses: Vec<DiskStatus>,
+    /// Failure time per **global** disk id (`None` = never fails). A
+    /// pure function of the config, so rerouting decisions are identical
+    /// under any island-to-worker assignment.
+    failed_at: Vec<Option<SimTime>>,
     /// Flattened per-sample per-disk watt rows (local disk order).
     power_rows: Vec<f64>,
     sample_times: Vec<SimTime>,
@@ -338,17 +412,25 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
         let n_global = config.disks as usize;
         let disks: Vec<Disk> = global_ids
             .iter()
-            .map(|gid| build_disk(config, rngs[gid.index()].clone()))
+            .map(|gid| build_disk(config, gid.0, rngs[gid.index()].clone()))
             .collect();
         let mut local_of = vec![u32::MAX; n_global];
         for (l, gid) in global_ids.iter().enumerate() {
             local_of[gid.index()] = l as u32;
         }
+        let mut failed_at = vec![None; n_global];
+        for f in &config.failures {
+            assert!(
+                f.disk < config.disks,
+                "failure references disk {} of a {}-disk fleet",
+                f.disk,
+                config.disks
+            );
+            let cell = &mut failed_at[f.disk as usize];
+            *cell = Some(cell.map_or(f.at, |t: SimTime| t.min(f.at)));
+        }
         let placeholder = DiskStatus {
-            state: match config.policy {
-                PolicyKind::AlwaysOn => DiskPowerState::Idle,
-                _ => DiskPowerState::Standby,
-            },
+            state: initial_state(&config.policy),
             last_request_at: None,
             load: 0,
         };
@@ -383,6 +465,7 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
             response: LatencyHistogram::default(),
             requests_per_disk: vec![0; n_local],
             statuses: vec![placeholder; n_global],
+            failed_at,
             power_rows: Vec::new(),
             sample_times: Vec::new(),
             started: false,
@@ -482,6 +565,11 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
         self.update_peaks();
     }
 
+    /// Whether global disk `disk` has failed as of `now`.
+    fn is_failed(&self, disk: DiskId, now: SimTime) -> bool {
+        self.failed_at[disk.index()].is_some_and(|t| now >= t)
+    }
+
     fn update_peaks(&mut self) {
         self.peak_events = self.peak_events.max(self.queue.len());
         self.peak_in_flight = self
@@ -517,6 +605,25 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
                 "scheduler placed request {} off-placement ({disk_id})",
                 req.index
             );
+            // Failure rerouting: if the scheduler's choice has failed by
+            // now, fall over to the first surviving replica in placement
+            // order; if none survives, drop the request (it stays counted
+            // as an arrival). Replicas never cross islands, so the
+            // fallback disk is always local.
+            let disk_id = if self.is_failed(disk_id, now) {
+                match self
+                    .placement
+                    .locations(req.data)
+                    .iter()
+                    .copied()
+                    .find(|d| !self.is_failed(*d, now))
+                {
+                    Some(d) => d,
+                    None => continue,
+                }
+            } else {
+                disk_id
+            };
             let local = self.local_of[disk_id.index()];
             assert!(
                 local != u32::MAX,
@@ -526,7 +633,7 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
             let local = local as usize;
             self.requests_per_disk[local] += 1;
             let wire_id = self.in_flight.insert(local, req);
-            let lba = lba_of(req.data.0, disk_id.0, self.power);
+            let lba = lba_of(req.data.0, disk_id.0);
             let directives = self.disks[local].enqueue(
                 now,
                 DiskRequest {
@@ -621,7 +728,14 @@ fn merge_finished(
         .unwrap_or(SimTime::ZERO);
     let horizon = last_event.max(trace_end + model.window());
     let horizon_s = horizon.as_secs_f64();
-    let always_on_j = config.disks as f64 * config.power.idle_w * horizon_s;
+    // Always-on baseline: every disk spinning idle for the whole horizon,
+    // summed per disk so heterogeneous fleets normalize correctly (a
+    // homogeneous `disks × idle_w` shortcut undercounts or overcounts
+    // whenever overrides are present).
+    let always_on_j = (0..config.disks)
+        .map(|d| config.effective_power(d).idle_w)
+        .sum::<f64>()
+        * horizon_s;
     let parts: Vec<IslandPart> = finished.into_iter().map(|f| f.finalize(horizon)).collect();
     crate::metrics::merge_islands(
         scheduler,
@@ -952,7 +1066,7 @@ fn pull_next(
 /// reproduces the resulting random seek pattern. Keyed by the **global**
 /// disk id, so island engines generate the serial engine's exact seek
 /// pattern.
-fn lba_of(data: u64, disk: u32, _params: &PowerParams) -> u64 {
+fn lba_of(data: u64, disk: u32) -> u64 {
     let mut h = SplitMix64::new(data ^ ((disk as u64) << 40) ^ 0x10CA);
     h.next_u64() % 300_000_000_000
 }
@@ -1143,6 +1257,125 @@ mod tests {
             &small_config(2, PolicyKind::Adaptive),
         );
         assert_eq!(m.response.count(), 5);
+    }
+
+    #[test]
+    fn quantile_policy_runs() {
+        let reqs = requests(&[0.0, 1.0, 2.0, 100.0, 101.0], &[0, 0, 0, 0, 0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let m = run_system(
+            &reqs,
+            &placement,
+            &mut sched,
+            &small_config(2, PolicyKind::Quantile),
+        );
+        assert_eq!(m.response.count(), 5);
+    }
+
+    #[test]
+    fn initial_state_matches_build_path_for_every_policy() {
+        // The engine's status placeholder and the disks built by
+        // `build_disk` must agree on the initial power state for every
+        // policy kind — both now go through `initial_state`, and this
+        // pins the build path to it.
+        let kinds = [
+            PolicyKind::AlwaysOn,
+            PolicyKind::Breakeven,
+            PolicyKind::FixedTimeout(SimDuration::from_secs(5)),
+            PolicyKind::Adaptive,
+            PolicyKind::Quantile,
+        ];
+        for kind in kinds {
+            let config = small_config(2, kind.clone());
+            let rngs = disk_rngs(&config);
+            for d in 0..config.disks {
+                let disk = build_disk(&config, d, rngs[d as usize].clone());
+                assert_eq!(
+                    disk.state(),
+                    initial_state(&kind),
+                    "policy {kind:?} disk {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_always_on_normalizes_to_one() {
+        // Disk 1 overrides to the paper's 1 W idealized model while disk 0
+        // stays barracuda (9.3 W idle). An always-on fleet must normalize
+        // to ~1.0; the old homogeneous baseline (2 × 9.3 W) would report
+        // (9.3 + 1.0) / (2 × 9.3) ≈ 0.55 — energy "saved" by config alone.
+        let reqs = requests(&[0.0, 30.0, 60.0], &[0, 1, 0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let mut config = small_config(2, PolicyKind::AlwaysOn);
+        config.power_overrides = vec![(1, PowerParams::paper_example())];
+        let m = run_system(&reqs, &placement, &mut sched, &config);
+        assert!(
+            (m.normalized_energy() - 1.0).abs() < 0.01,
+            "normalized {}",
+            m.normalized_energy()
+        );
+    }
+
+    #[test]
+    fn heterogeneous_fleet_uses_override_params() {
+        // With disk 1 on the 1 W model, an always-on run's total energy
+        // must reflect the mixed idle powers, not 2× barracuda.
+        let reqs = requests(&[0.0], &[0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let mut config = small_config(2, PolicyKind::AlwaysOn);
+        config.power_overrides = vec![(1, PowerParams::paper_example())];
+        let m = run_system(&reqs, &placement, &mut sched, &config);
+        let horizon_s = m.horizon_s;
+        let expected = (9.3 + 1.0) * horizon_s;
+        // Active-time corrections are tiny for one request.
+        assert!(
+            (m.energy_j - expected).abs() / expected < 0.01,
+            "energy {} vs mixed-idle expectation {expected}",
+            m.energy_j
+        );
+    }
+
+    #[test]
+    fn failed_disk_reroutes_to_surviving_replica() {
+        let reqs = requests(&[0.0, 1.0, 2.0], &[0, 0, 0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let mut config = small_config(2, PolicyKind::Breakeven);
+        // Disk 0 (the static scheduler's pick for data 0) fails at t=0.
+        config.failures = vec![DiskFailure {
+            disk: 0,
+            at: SimTime::ZERO,
+        }];
+        let m = run_system(&reqs, &placement, &mut sched, &config);
+        assert_eq!(m.response.count(), 3);
+        assert_eq!(m.per_disk[0].requests, 0, "failed disk must get no I/O");
+        assert_eq!(m.per_disk[1].requests, 3);
+    }
+
+    #[test]
+    fn requests_drop_when_every_replica_failed() {
+        let reqs = requests(&[0.0, 20.0], &[0, 0]);
+        let placement = two_disk_placement();
+        let mut sched = StaticScheduler;
+        let mut config = small_config(2, PolicyKind::Breakeven);
+        config.failures = vec![
+            DiskFailure {
+                disk: 0,
+                at: SimTime::from_secs(10),
+            },
+            DiskFailure {
+                disk: 1,
+                at: SimTime::from_secs(10),
+            },
+        ];
+        let m = run_system(&reqs, &placement, &mut sched, &config);
+        // The t=0 request is serviced; the t=20 one has no live replica.
+        assert_eq!(m.requests, 2, "drops still count as arrivals");
+        assert_eq!(m.response.count(), 1);
     }
 
     #[test]

@@ -21,13 +21,14 @@ use spindown_core::model::{DiskId, Request};
 use spindown_core::placement::{IslandPartition, PlacementConfig, PlacementMap};
 use spindown_core::sched::{ExplicitPlacement, LocationProvider, Scheduler};
 use spindown_core::system::{
-    run_system, run_system_streamed_hash_oracle, run_system_with_jobs, PolicyKind, SourceError,
-    SystemConfig,
+    run_system, run_system_streamed_hash_oracle, run_system_with_jobs, DiskFailure, PolicyKind,
+    SourceError, SystemConfig,
 };
 use spindown_core::RunMetrics;
-use spindown_sim::time::SimDuration;
+use spindown_disk::power::PowerParams;
+use spindown_sim::time::{SimDuration, SimTime};
 use spindown_trace::synth::arrivals::OnOffProcess;
-use spindown_trace::synth::{CelloLike, TraceGenerator};
+use spindown_trace::synth::{CelloLike, FlashCrowdLike, FlashCrowdProcess, TraceGenerator};
 
 const JOBS: [usize; 3] = [1, 2, 8];
 
@@ -309,6 +310,57 @@ fn empty_stream_is_jobs_invariant() {
         let par = run_system_with_jobs(&[], &placement, &factory, &cfg, jobs);
         assert_eq!(normalized(&par), normalized(&serial), "jobs {jobs}");
     }
+}
+
+/// The full adversarial stack at once: a heterogeneous fleet (every odd
+/// disk on the Ultrastar preset), the quantile policy with per-disk
+/// learned state and storm damping, mid-run disk failures, and a
+/// flash-crowd workload — replayed through the whole scheduler × jobs
+/// matrix against the serial oracle. Per-disk policy state, per-disk
+/// effective power, and config-driven failure rerouting are all pure
+/// functions of a disk's own history, so `--jobs` must still change
+/// wall-clock, never bytes.
+#[test]
+fn heterogeneous_quantile_fleet_with_failures_is_jobs_invariant() {
+    let trace = FlashCrowdLike {
+        requests: 1_200,
+        data_items: 320,
+        arrivals: FlashCrowdProcess {
+            base_rate: 1.0,
+            burst_rate: 60.0,
+            burst_every_s: 90.0,
+            burst_duration_s: 8.0,
+        },
+        ..FlashCrowdLike::default()
+    }
+    .generate(97);
+    let requests = requests_from_trace(&trace);
+    // 8 islands × 3 disks, 2 replicas inside each group: failing one
+    // replica reroutes island-locally, never across islands.
+    let placement = grouped_placement(data_space(&requests), 8, 3, 2);
+    let partition = IslandPartition::from_provider(&placement);
+    assert_eq!(partition.n_islands(), 8, "placement must shard");
+    let mut cfg = config(24, 97, true);
+    cfg.policy = PolicyKind::Quantile;
+    cfg.power_overrides = (0..24)
+        .filter(|d| d % 2 == 1)
+        .map(|d| (d, PowerParams::ultrastar()))
+        .collect();
+    cfg.failures = vec![
+        DiskFailure {
+            disk: 2,
+            at: SimTime::from_secs(60),
+        },
+        DiskFailure {
+            disk: 11,
+            at: SimTime::from_secs(150),
+        },
+        DiskFailure {
+            disk: 19,
+            at: SimTime::from_secs(300),
+        },
+    ];
+    assert_matrix("hetero-quantile-failures", &requests, &placement, &cfg, 97);
 }
 
 /// AlwaysOn policy (the normalization baseline) also replays

@@ -21,6 +21,7 @@ pub mod arrivals;
 pub mod cello;
 pub mod financial;
 pub mod popularity;
+pub mod scenario;
 
 use crate::record::Trace;
 
@@ -35,3 +36,6 @@ pub trait TraceGenerator {
 
 pub use cello::{CelloLike, CelloStream};
 pub use financial::{FinancialLike, FinancialStream};
+pub use scenario::{
+    DiurnalLike, DiurnalProcess, FlashCrowdLike, FlashCrowdProcess, ScenarioStream,
+};

@@ -1,0 +1,657 @@
+//! Adversarial arrival scenarios: diurnal load curves and flash crowds.
+//!
+//! Fixed-threshold spin-down (2CPM) and predictive policies only separate
+//! under non-stationary arrivals — a Poisson stream gives every policy
+//! the same exponential idle distribution to work with. This module adds
+//! the two classic adversaries from the energy-management literature:
+//!
+//! * [`DiurnalProcess`] — a sinusoid-modulated Poisson process (NHPP via
+//!   Lewis–Shedler thinning): long overnight troughs reward early
+//!   spin-down, daytime peaks punish it.
+//! * [`FlashCrowdProcess`] — a sparse background stream with superimposed
+//!   high-rate bursts: the idle-length distribution is bimodal (short
+//!   intra-burst gaps, long inter-burst gaps), exactly the shape a
+//!   quantile predictor exploits and a fixed threshold cannot.
+//!
+//! Both ship `generate`/`stream` pairs with the same bit-identical
+//! contract as [`crate::synth::arrivals::OnOffProcess`]: the stream
+//! replays the batch generator's rng draws exactly, and the caller's rng
+//! is left at the same position either way (all draws happen on forked
+//! child rngs).
+
+use std::f64::consts::TAU;
+
+use spindown_sim::rng::SimRng;
+use spindown_sim::time::SimTime;
+
+use crate::record::{OpKind, Trace, TraceRecord};
+use crate::synth::popularity::ZipfPopularity;
+use crate::synth::TraceGenerator;
+
+/// Sinusoid-modulated Poisson arrivals (non-homogeneous Poisson process):
+///
+/// ```text
+/// rate(t) = base_rate · (1 + depth · sin(2π t / period_s + phase))
+/// ```
+///
+/// Sampled by Lewis–Shedler thinning: candidates arrive at the peak rate
+/// `base_rate · (1 + depth)` and are accepted with probability
+/// `rate(t) / peak`.
+#[derive(Debug, Clone)]
+pub struct DiurnalProcess {
+    /// Mean arrival rate, arrivals per second.
+    pub base_rate: f64,
+    /// Modulation depth in `[0, 1]`: 0 = plain Poisson, 1 = the trough
+    /// rate touches zero.
+    pub depth: f64,
+    /// Length of one day, seconds.
+    pub period_s: f64,
+    /// Phase offset, radians (`-π/2` starts the trace at the trough).
+    pub phase: f64,
+}
+
+impl DiurnalProcess {
+    fn validate(&self) {
+        assert!(self.base_rate > 0.0, "base rate must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.depth),
+            "modulation depth must be in [0, 1]"
+        );
+        assert!(self.period_s > 0.0, "period must be positive");
+    }
+
+    /// Instantaneous arrival rate at `t` seconds.
+    pub fn rate_at(&self, t: f64) -> f64 {
+        self.base_rate * (1.0 + self.depth * (TAU * t / self.period_s + self.phase).sin())
+    }
+
+    /// Generates exactly `n` arrival times (ascending, starting near zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_rate` or `period_s` is non-positive or `depth` is
+    /// outside `[0, 1]`.
+    pub fn generate(&self, rng: &mut SimRng, n: usize) -> Vec<SimTime> {
+        self.validate();
+        let mut src_rng = rng.fork(0);
+        let peak = self.base_rate * (1.0 + self.depth);
+        let mut t = 0.0;
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            t += src_rng.exponential(peak);
+            if src_rng.next_f64() * peak < self.rate_at(t) {
+                out.push(SimTime::from_secs_f64(t));
+            }
+        }
+        out
+    }
+
+    /// Lazy equivalent of [`DiurnalProcess::generate`]: yields the same
+    /// `n` arrival times in the same order. All draws happen on a forked
+    /// child rng, so the caller's `rng` ends at the same position either
+    /// way.
+    ///
+    /// # Panics
+    ///
+    /// As [`DiurnalProcess::generate`].
+    pub fn stream(&self, rng: &mut SimRng, n: usize) -> DiurnalStream {
+        self.validate();
+        DiurnalStream {
+            proc: self.clone(),
+            rng: rng.fork(0),
+            t: 0.0,
+            remaining: n,
+        }
+    }
+}
+
+/// Lazy arrival stream for [`DiurnalProcess`] — see
+/// [`DiurnalProcess::stream`].
+#[derive(Debug, Clone)]
+pub struct DiurnalStream {
+    proc: DiurnalProcess,
+    rng: SimRng,
+    t: f64,
+    remaining: usize,
+}
+
+impl Iterator for DiurnalStream {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let peak = self.proc.base_rate * (1.0 + self.proc.depth);
+        loop {
+            self.t += self.rng.exponential(peak);
+            if self.rng.next_f64() * peak < self.proc.rate_at(self.t) {
+                self.remaining -= 1;
+                return Some(SimTime::from_secs_f64(self.t));
+            }
+        }
+    }
+}
+
+/// Sparse background Poisson stream with superimposed flash-crowd bursts.
+///
+/// Burst starts are separated by exponential gaps of mean
+/// `burst_every_s` (measured from the previous burst's end); each burst
+/// emits a Poisson stream at `burst_rate` for `burst_duration_s`. The
+/// idle-gap distribution a disk observes is therefore bimodal: dense
+/// intra-burst gaps and long quiet inter-burst gaps.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdProcess {
+    /// Background arrival rate between bursts, arrivals per second.
+    pub base_rate: f64,
+    /// Arrival rate inside a burst, arrivals per second.
+    pub burst_rate: f64,
+    /// Mean quiet gap between bursts, seconds.
+    pub burst_every_s: f64,
+    /// Length of each burst, seconds.
+    pub burst_duration_s: f64,
+}
+
+impl FlashCrowdProcess {
+    fn validate(&self) {
+        assert!(
+            self.base_rate > 0.0
+                && self.burst_rate > 0.0
+                && self.burst_every_s > 0.0
+                && self.burst_duration_s > 0.0,
+            "flash-crowd parameters must be positive"
+        );
+    }
+
+    /// Expected aggregate arrival rate, arrivals per second.
+    pub fn mean_rate(&self) -> f64 {
+        let cycle = self.burst_every_s + self.burst_duration_s;
+        self.base_rate + self.burst_rate * self.burst_duration_s / cycle
+    }
+
+    /// Generates exactly `n` arrival times (ascending, starting near
+    /// zero) by merging the background stream (child rng 0) with the
+    /// burst stream (child rng 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    pub fn generate(&self, rng: &mut SimRng, n: usize) -> Vec<SimTime> {
+        self.validate();
+        let mut bg = PoissonSource::new(rng.fork(0), self.base_rate);
+        let mut burst = BurstSource::new(self, rng.fork(1));
+        let mut out = Vec::with_capacity(n);
+        let mut a = bg.next_time();
+        let mut b = burst.next_time();
+        while out.len() < n {
+            if a <= b {
+                out.push(a);
+                a = bg.next_time();
+            } else {
+                out.push(b);
+                b = burst.next_time();
+            }
+        }
+        out
+    }
+
+    /// Lazy equivalent of [`FlashCrowdProcess::generate`]: same arrivals,
+    /// same order, caller's rng at the same position (both sources live
+    /// on forked child rngs).
+    ///
+    /// # Panics
+    ///
+    /// As [`FlashCrowdProcess::generate`].
+    pub fn stream(&self, rng: &mut SimRng, n: usize) -> FlashCrowdStream {
+        self.validate();
+        let mut bg = PoissonSource::new(rng.fork(0), self.base_rate);
+        let mut burst = BurstSource::new(self, rng.fork(1));
+        let next_bg = bg.next_time();
+        let next_burst = burst.next_time();
+        FlashCrowdStream {
+            bg,
+            burst,
+            next_bg,
+            next_burst,
+            remaining: n,
+        }
+    }
+}
+
+/// An endless Poisson stream on its own rng.
+#[derive(Debug, Clone)]
+struct PoissonSource {
+    rng: SimRng,
+    rate: f64,
+    t: f64,
+}
+
+impl PoissonSource {
+    fn new(rng: SimRng, rate: f64) -> Self {
+        PoissonSource { rng, rate, t: 0.0 }
+    }
+
+    fn next_time(&mut self) -> SimTime {
+        self.t += self.rng.exponential(self.rate);
+        SimTime::from_secs_f64(self.t)
+    }
+}
+
+/// The endless burst stream: exponential quiet gaps, then a
+/// `burst_duration_s` window of Poisson arrivals at `burst_rate`.
+#[derive(Debug, Clone)]
+struct BurstSource {
+    rng: SimRng,
+    burst_rate: f64,
+    burst_every_s: f64,
+    burst_duration_s: f64,
+    /// Current position; outside a burst this is the last burst's end.
+    t: f64,
+    /// End of the current burst window, or `None` while quiet.
+    burst_end: Option<f64>,
+}
+
+impl BurstSource {
+    fn new(proc: &FlashCrowdProcess, rng: SimRng) -> Self {
+        BurstSource {
+            rng,
+            burst_rate: proc.burst_rate,
+            burst_every_s: proc.burst_every_s,
+            burst_duration_s: proc.burst_duration_s,
+            t: 0.0,
+            burst_end: None,
+        }
+    }
+
+    fn next_time(&mut self) -> SimTime {
+        loop {
+            let end = match self.burst_end {
+                Some(end) => end,
+                None => {
+                    // Quiet gap, then a new burst window opens.
+                    self.t += self.rng.exponential(1.0 / self.burst_every_s);
+                    let end = self.t + self.burst_duration_s;
+                    self.burst_end = Some(end);
+                    end
+                }
+            };
+            self.t += self.rng.exponential(self.burst_rate);
+            if self.t < end {
+                return SimTime::from_secs_f64(self.t);
+            }
+            // Burst exhausted; the next quiet gap starts at its end.
+            self.t = end;
+            self.burst_end = None;
+        }
+    }
+}
+
+/// Lazy arrival stream for [`FlashCrowdProcess`] — see
+/// [`FlashCrowdProcess::stream`]. Two-way merge of the background and
+/// burst sources with one look-ahead each.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdStream {
+    bg: PoissonSource,
+    burst: BurstSource,
+    next_bg: SimTime,
+    next_burst: SimTime,
+    remaining: usize,
+}
+
+impl Iterator for FlashCrowdStream {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(if self.next_bg <= self.next_burst {
+            std::mem::replace(&mut self.next_bg, self.bg.next_time())
+        } else {
+            std::mem::replace(&mut self.next_burst, self.burst.next_time())
+        })
+    }
+}
+
+/// Shared record-level stream for the scenario trace generators: pairs an
+/// arrival stream with the Zipf popularity and op draws, exactly like
+/// [`crate::synth::CelloStream`].
+#[derive(Debug)]
+pub struct ScenarioStream<A> {
+    arrivals: A,
+    rng: SimRng,
+    pop: ZipfPopularity,
+    block_size: u64,
+    write_fraction: f64,
+}
+
+impl<A: Iterator<Item = SimTime>> Iterator for ScenarioStream<A> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let at = self.arrivals.next()?;
+        Some(TraceRecord {
+            at,
+            data: self.pop.sample(&mut self.rng),
+            size: self.block_size,
+            op: if self.rng.chance(self.write_fraction) {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            },
+        })
+    }
+}
+
+macro_rules! scenario_trace_generator {
+    ($like:ident, $proc:ty, $stream:ty, $salt:expr, $name:expr) => {
+        impl $like {
+            /// Lazy equivalent of [`TraceGenerator::generate`]: the same
+            /// records in the same order without materializing a
+            /// [`Trace`].
+            pub fn stream(&self, seed: u64) -> ScenarioStream<$stream> {
+                let mut rng = SimRng::seed_from_u64(seed ^ $salt);
+                let pop = ZipfPopularity::new(self.data_items, self.popularity_z, &mut rng)
+                    .expect("valid popularity parameters");
+                let arrivals = self.arrivals.stream(&mut rng, self.requests);
+                ScenarioStream {
+                    arrivals,
+                    rng,
+                    pop,
+                    block_size: self.block_size,
+                    write_fraction: self.write_fraction,
+                }
+            }
+        }
+
+        impl TraceGenerator for $like {
+            fn generate(&self, seed: u64) -> Trace {
+                let mut rng = SimRng::seed_from_u64(seed ^ $salt);
+                let pop = ZipfPopularity::new(self.data_items, self.popularity_z, &mut rng)
+                    .expect("valid popularity parameters");
+                let times = self.arrivals.generate(&mut rng, self.requests);
+                let records = times
+                    .into_iter()
+                    .map(|at| TraceRecord {
+                        at,
+                        data: pop.sample(&mut rng),
+                        size: self.block_size,
+                        op: if rng.chance(self.write_fraction) {
+                            OpKind::Write
+                        } else {
+                            OpKind::Read
+                        },
+                    })
+                    .collect();
+                Trace::from_records(records)
+            }
+
+            fn name(&self) -> &'static str {
+                $name
+            }
+        }
+    };
+}
+
+/// Diurnal synthetic trace: sinusoid-modulated arrivals + Zipf
+/// popularity. The default compresses a "day" into one hour so short
+/// simulations still cross several troughs.
+#[derive(Debug, Clone)]
+pub struct DiurnalLike {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of distinct data items in the id space.
+    pub data_items: usize,
+    /// Zipf exponent of block popularity.
+    pub popularity_z: f64,
+    /// Block size, bytes.
+    pub block_size: u64,
+    /// Fraction of requests that are writes.
+    pub write_fraction: f64,
+    /// The modulated arrival process.
+    pub arrivals: DiurnalProcess,
+}
+
+impl Default for DiurnalLike {
+    fn default() -> Self {
+        DiurnalLike {
+            requests: 70_000,
+            data_items: 30_000,
+            popularity_z: 1.0,
+            block_size: 512 * 1024,
+            write_fraction: 0.0,
+            arrivals: DiurnalProcess {
+                base_rate: 45.0,
+                depth: 0.9,
+                period_s: 3600.0,
+                phase: -std::f64::consts::FRAC_PI_2,
+            },
+        }
+    }
+}
+
+scenario_trace_generator!(
+    DiurnalLike,
+    DiurnalProcess,
+    DiurnalStream,
+    0xD1DA,
+    "diurnal"
+);
+
+/// Flash-crowd synthetic trace: sparse background with superimposed
+/// bursts, Zipf popularity. The default background is quiet enough that
+/// disks see long inter-burst idle periods — the regime where
+/// predictive spin-down separates from 2CPM.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdLike {
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Number of distinct data items in the id space.
+    pub data_items: usize,
+    /// Zipf exponent of block popularity.
+    pub popularity_z: f64,
+    /// Block size, bytes.
+    pub block_size: u64,
+    /// Fraction of requests that are writes.
+    pub write_fraction: f64,
+    /// The bursty arrival process.
+    pub arrivals: FlashCrowdProcess,
+}
+
+impl Default for FlashCrowdLike {
+    fn default() -> Self {
+        FlashCrowdLike {
+            requests: 70_000,
+            data_items: 30_000,
+            popularity_z: 1.0,
+            block_size: 512 * 1024,
+            write_fraction: 0.0,
+            arrivals: FlashCrowdProcess {
+                base_rate: 2.0,
+                burst_rate: 400.0,
+                burst_every_s: 180.0,
+                burst_duration_s: 10.0,
+            },
+        }
+    }
+}
+
+scenario_trace_generator!(
+    FlashCrowdLike,
+    FlashCrowdProcess,
+    FlashCrowdStream,
+    0xF1A5,
+    "flash-crowd"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diurnal() -> DiurnalProcess {
+        DiurnalProcess {
+            base_rate: 20.0,
+            depth: 0.9,
+            period_s: 600.0,
+            phase: 0.0,
+        }
+    }
+
+    fn flash() -> FlashCrowdProcess {
+        FlashCrowdProcess {
+            base_rate: 2.0,
+            burst_rate: 200.0,
+            burst_every_s: 60.0,
+            burst_duration_s: 5.0,
+        }
+    }
+
+    #[test]
+    fn diurnal_produces_exact_count_sorted() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let ts = diurnal().generate(&mut rng, 5_000);
+        assert_eq!(ts.len(), 5_000);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn diurnal_rate_actually_modulates() {
+        // Count arrivals in the first rising half-period vs the falling
+        // half: with phase 0 the first quarter-period alone carries the
+        // sinusoid's peak.
+        let proc = diurnal();
+        let mut rng = SimRng::seed_from_u64(2);
+        let ts = proc.generate(&mut rng, 20_000);
+        let half = proc.period_s / 2.0;
+        let span = ts.last().unwrap().as_secs_f64();
+        let mut peak_half = 0usize;
+        let mut trough_half = 0usize;
+        for t in &ts {
+            let t = t.as_secs_f64();
+            if (t % proc.period_s) < half {
+                peak_half += 1;
+            } else {
+                trough_half += 1;
+            }
+        }
+        assert!(span > proc.period_s, "need at least one full period");
+        assert!(
+            peak_half as f64 > 1.5 * trough_half as f64,
+            "peak {peak_half} vs trough {trough_half}"
+        );
+    }
+
+    #[test]
+    fn diurnal_stream_matches_generate_and_rng_position() {
+        for seed in [3u64, 7, 11] {
+            let proc = diurnal();
+            let mut rng_a = SimRng::seed_from_u64(seed);
+            let batch = proc.generate(&mut rng_a, 5_000);
+            let mut rng_b = SimRng::seed_from_u64(seed);
+            let streamed: Vec<SimTime> = proc.stream(&mut rng_b, 5_000).collect();
+            assert_eq!(streamed, batch);
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "rng position differs");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn diurnal_rejects_bad_depth() {
+        let mut p = diurnal();
+        p.depth = 1.5;
+        p.generate(&mut SimRng::seed_from_u64(0), 10);
+    }
+
+    #[test]
+    fn flash_crowd_produces_exact_count_sorted() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let ts = flash().generate(&mut rng, 5_000);
+        assert_eq!(ts.len(), 5_000);
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn flash_crowd_gaps_are_bimodal() {
+        // Most gaps are intra-burst (≲ 1/burst_rate); a visible minority
+        // are second-scale background gaps inside the lulls. A Poisson
+        // stream at the same mean rate (~17/s here) would essentially
+        // never produce second-scale gaps (P ≈ e⁻¹⁷ each).
+        let proc = flash();
+        let mut rng = SimRng::seed_from_u64(5);
+        let ts = proc.generate(&mut rng, 20_000);
+        let mut long_gaps = 0usize;
+        let mut short_gaps = 0usize;
+        for w in ts.windows(2) {
+            let gap = w[1].as_secs_f64() - w[0].as_secs_f64();
+            if gap > 1.0 {
+                long_gaps += 1;
+            } else if gap < 0.1 {
+                short_gaps += 1;
+            }
+        }
+        assert!(long_gaps > 100, "long gaps {long_gaps}");
+        assert!(short_gaps > 10_000, "short gaps {short_gaps}");
+    }
+
+    #[test]
+    fn flash_crowd_stream_matches_generate_and_rng_position() {
+        for seed in [3u64, 7, 11] {
+            let proc = flash();
+            let mut rng_a = SimRng::seed_from_u64(seed);
+            let batch = proc.generate(&mut rng_a, 5_000);
+            let mut rng_b = SimRng::seed_from_u64(seed);
+            let streamed: Vec<SimTime> = proc.stream(&mut rng_b, 5_000).collect();
+            assert_eq!(streamed, batch);
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "rng position differs");
+        }
+    }
+
+    #[test]
+    fn diurnal_trace_stream_matches_generate() {
+        for (seed, wf) in [(7u64, 0.0), (12, 0.25)] {
+            let gen = DiurnalLike {
+                requests: 4_000,
+                data_items: 1_500,
+                write_fraction: wf,
+                ..DiurnalLike::default()
+            };
+            let batch = gen.generate(seed);
+            let streamed: Vec<TraceRecord> = gen.stream(seed).collect();
+            assert_eq!(streamed, batch.records());
+        }
+    }
+
+    #[test]
+    fn flash_crowd_trace_stream_matches_generate() {
+        for (seed, wf) in [(7u64, 0.0), (12, 0.25)] {
+            let gen = FlashCrowdLike {
+                requests: 4_000,
+                data_items: 1_500,
+                write_fraction: wf,
+                ..FlashCrowdLike::default()
+            };
+            let batch = gen.generate(seed);
+            let streamed: Vec<TraceRecord> = gen.stream(seed).collect();
+            assert_eq!(streamed, batch.records());
+        }
+    }
+
+    #[test]
+    fn trace_generators_deterministic_and_named() {
+        let d = DiurnalLike {
+            requests: 500,
+            data_items: 200,
+            ..DiurnalLike::default()
+        };
+        assert_eq!(d.generate(9).records(), d.generate(9).records());
+        assert_eq!(d.name(), "diurnal");
+        let f = FlashCrowdLike {
+            requests: 500,
+            data_items: 200,
+            ..FlashCrowdLike::default()
+        };
+        assert_eq!(f.generate(9).records(), f.generate(9).records());
+        assert_eq!(f.name(), "flash-crowd");
+    }
+}
