@@ -10,7 +10,13 @@
 //! this harness itself emits (`schema: spindown-bench-v1`, one
 //! `"name": {"median_ns": …, "p10_ns": …, "p90_ns": …}` object per line),
 //! keeping the crate zero-dependency. It is not a general JSON parser and
-//! does not need to be.
+//! does not need to be. The report's `host` block
+//! (`{"available_parallelism": …, "parallel_jobs": …}` — the cores the
+//! runner advertised and the worker count the parallel fixtures actually
+//! used) is ignored by the parser but read from the *fresh* report: it
+//! decides whether the multi-core `island_sim_speedup` floor applies,
+//! and it is what makes committed parallel ratios interpretable across
+//! machines.
 
 use crate::harness::{BenchReport, BenchStats};
 
@@ -128,6 +134,9 @@ fn field_u64(line: &str, key: &str) -> Option<u64> {
 ///   (a newly added benchmark gets its baseline at the next refresh).
 /// * Every comparison line carries both runs' p10/p90 bands so a noisy
 ///   host is distinguishable from a real regression in the CI log.
+/// * On hosts advertising more than one core, a fresh
+///   `island_sim_speedup` below 1.0 fails the gate outright — parallel
+///   replay must not be a net slowdown where it has cores to use.
 pub fn check(report: &BenchReport, baseline: &[BaselineEntry], tolerance: f64) -> GateReport {
     let mut lines = Vec::new();
     let mut regressions = Vec::new();
@@ -170,13 +179,34 @@ pub fn check(report: &BenchReport, baseline: &[BaselineEntry], tolerance: f64) -
             ));
         }
     }
+    // Parallel win-or-fail: with more than one core, the island-parallel
+    // replay must actually beat the serial oracle — a ratio below 1.0
+    // means the hand-off path has regressed into a net slowdown (the
+    // failure mode the batched hand-off was built to eliminate).
+    // Single-core hosts are exempt: there the fixture documents parity
+    // and only bit-identical output is meaningful.
+    if report.host.available_parallelism > 1 {
+        if let Some(speedup) = report.derived("island_sim_speedup") {
+            let verdict = if speedup < 1.0 { "REGRESSED" } else { "ok" };
+            lines.push(format!(
+                "{:<30} {:>6.3}x  (must exceed 1.0 on multi-core hosts)  {}",
+                "island_sim_speedup", speedup, verdict
+            ));
+            if speedup < 1.0 {
+                regressions.push(format!(
+                    "island_sim_speedup: {:.3} < 1.0 with {} cores available",
+                    speedup, report.host.available_parallelism
+                ));
+            }
+        }
+    }
     GateReport { lines, regressions }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::{BenchConfig, BenchEntry, DerivedEntry};
+    use crate::harness::{BenchConfig, BenchEntry, DerivedEntry, HostContext};
 
     fn report(entries: Vec<(&'static str, u64)>) -> BenchReport {
         BenchReport {
@@ -196,6 +226,10 @@ mod tests {
                 name: "graph_build_speedup_medium",
                 value: 2.0,
             }],
+            host: HostContext {
+                available_parallelism: 2,
+                parallel_jobs: 2,
+            },
         }
     }
 
@@ -247,6 +281,42 @@ mod tests {
         let base = parse_baseline(&report(vec![("a", 1000)]).to_json()).unwrap();
         let gate = check(&report(vec![("a", 10)]), &base, DEFAULT_TOLERANCE);
         assert!(gate.passed());
+    }
+
+    fn with_island_speedup(mut r: BenchReport, cores: usize, speedup: f64) -> BenchReport {
+        r.host.available_parallelism = cores;
+        r.derived.push(DerivedEntry {
+            name: "island_sim_speedup",
+            value: speedup,
+        });
+        r
+    }
+
+    #[test]
+    fn island_slowdown_fails_on_multicore_host() {
+        let base = parse_baseline(&report(vec![("a", 1000)]).to_json()).unwrap();
+        let fresh = with_island_speedup(report(vec![("a", 1000)]), 4, 0.85);
+        let gate = check(&fresh, &base, DEFAULT_TOLERANCE);
+        assert!(!gate.passed());
+        assert!(gate.regressions[0].contains("island_sim_speedup"));
+        assert!(gate.regressions[0].contains("4 cores"));
+    }
+
+    #[test]
+    fn island_slowdown_tolerated_on_single_core_host() {
+        let base = parse_baseline(&report(vec![("a", 1000)]).to_json()).unwrap();
+        let fresh = with_island_speedup(report(vec![("a", 1000)]), 1, 0.85);
+        let gate = check(&fresh, &base, DEFAULT_TOLERANCE);
+        assert!(gate.passed(), "{:?}", gate.regressions);
+    }
+
+    #[test]
+    fn island_speedup_passes_on_multicore_host() {
+        let base = parse_baseline(&report(vec![("a", 1000)]).to_json()).unwrap();
+        let fresh = with_island_speedup(report(vec![("a", 1000)]), 4, 1.4);
+        let gate = check(&fresh, &base, DEFAULT_TOLERANCE);
+        assert!(gate.passed(), "{:?}", gate.regressions);
+        assert!(gate.to_text().contains("island_sim_speedup"));
     }
 
     #[test]

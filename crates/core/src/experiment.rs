@@ -177,11 +177,33 @@ impl StreamScan {
     /// the records of the scanned pass in the same (time-sorted) order —
     /// re-open the file, re-seed the generator.
     pub fn requests<S>(self, stream: S) -> StreamRequests<S> {
+        let dense_lut = self.build_lut();
         StreamRequests {
             inner: stream,
             scan: self,
+            dense_lut,
             next_index: 0,
         }
+    }
+
+    /// Builds a direct-index raw-id → rank table when the raw id space
+    /// is compact enough (at most a small constant factor larger than
+    /// the distinct-id count). Returns an empty table — meaning "use
+    /// binary search" — for sparse id spaces, so memory stays O(distinct
+    /// data) in the worst case.
+    fn build_lut(&self) -> Vec<u32> {
+        const ABSENT: u32 = u32::MAX;
+        let Some(&max) = self.ids.last() else {
+            return Vec::new();
+        };
+        if self.ids.len() >= ABSENT as usize || max >= (self.ids.len() * 4 + 1024) as u64 {
+            return Vec::new();
+        }
+        let mut lut = vec![ABSENT; max as usize + 1];
+        for (rank, &id) in self.ids.iter().enumerate() {
+            lut[id as usize] = rank as u32;
+        }
+        lut
     }
 }
 
@@ -222,6 +244,9 @@ pub fn scan_stream<E>(
 pub struct StreamRequests<S> {
     inner: S,
     scan: StreamScan,
+    /// Raw id → dense rank, `u32::MAX` = absent; empty when the id
+    /// space is too sparse (then `scan.ids` is binary-searched instead).
+    dense_lut: Vec<u32>,
     next_index: u32,
 }
 
@@ -241,9 +266,18 @@ where
             if r.op != OpKind::Read {
                 continue;
             }
-            let dense = match self.scan.ids.binary_search(&r.data.0) {
-                Ok(rank) => rank as u64,
-                Err(_) => {
+            let rank = if self.dense_lut.is_empty() {
+                self.scan.ids.binary_search(&r.data.0).ok()
+            } else {
+                self.dense_lut
+                    .get(r.data.0 as usize)
+                    .copied()
+                    .filter(|&rank| rank != u32::MAX)
+                    .map(|rank| rank as usize)
+            };
+            let dense = match rank {
+                Some(rank) => rank as u64,
+                None => {
                     return Some(Err(SourceError::new(format!(
                         "data id {} absent from the scan pass (replay diverged)",
                         r.data.0

@@ -174,8 +174,24 @@ pub struct IslandPartition {
     island_offsets: Vec<usize>,
     /// Global disk ids grouped by island, ascending within each island.
     island_disks: Vec<DiskId>,
-    /// Data id → island id (empty when the data universe is unknown).
-    data_island: Vec<u32>,
+    /// Data id → island id (`None` when the data universe is unknown).
+    data_island: DataIslandTable,
+}
+
+/// Data → island routing table. Both the stream splitter and the inline
+/// island loop hit this once per record with data-uniform (i.e. cache
+/// hostile) indices, so the entries are stored at the narrowest width
+/// that fits the island count — island ids are bounded by disk count,
+/// so `u16` covers every realistic fleet and halves the footprint those
+/// per-record misses walk.
+#[derive(Debug, Clone)]
+enum DataIslandTable {
+    /// Data universe unknown: every data id routes to island 0.
+    Unknown,
+    /// Island ids fit in `u16` (the practical case).
+    Narrow(Vec<u16>),
+    /// Degenerate fleets with more than 65536 islands.
+    Wide(Vec<u32>),
 }
 
 impl IslandPartition {
@@ -199,15 +215,21 @@ impl IslandPartition {
             }
             x
         }
-        for d in 0..n_data {
+        // One provider round-trip per data item: remember each item's
+        // first replica so the canonicalization pass below can map it to
+        // an island without a second `locations` call.
+        let mut first_loc = vec![0u32; n_data];
+        for (d, first_slot) in first_loc.iter_mut().enumerate() {
             let locs = provider.locations(DataId(d as u64));
             let first = locs[0].0;
+            *first_slot = first;
+            let mut a = find(&mut parent, first);
             for &l in &locs[1..] {
-                let a = find(&mut parent, first);
                 let b = find(&mut parent, l.0);
                 if a != b {
                     let (lo, hi) = if a < b { (a, b) } else { (b, a) };
                     parent[hi as usize] = lo;
+                    a = lo;
                 }
             }
         }
@@ -248,9 +270,21 @@ impl IslandPartition {
             island_disks[slot] = DiskId(d);
             disk_local[d as usize] = (slot - island_offsets[island]) as u32;
         }
-        let data_island = (0..n_data)
-            .map(|d| disk_island[provider.locations(DataId(d as u64))[0].index()])
-            .collect();
+        let data_island = if n_islands <= u16::MAX as u32 + 1 {
+            DataIslandTable::Narrow(
+                first_loc
+                    .iter()
+                    .map(|&first| disk_island[first as usize] as u16)
+                    .collect(),
+            )
+        } else {
+            DataIslandTable::Wide(
+                first_loc
+                    .iter()
+                    .map(|&first| disk_island[first as usize])
+                    .collect(),
+            )
+        };
         IslandPartition {
             disk_island,
             disk_local,
@@ -269,7 +303,7 @@ impl IslandPartition {
             disk_local: (0..disks).collect(),
             island_offsets: vec![0, n],
             island_disks: (0..disks).map(DiskId).collect(),
-            data_island: Vec::new(),
+            data_island: DataIslandTable::Unknown,
         }
     }
 
@@ -302,10 +336,10 @@ impl IslandPartition {
     /// Island of a data item. For the single-island fallback every data id
     /// maps to island 0.
     pub fn data_island(&self, data: DataId) -> usize {
-        if self.data_island.is_empty() {
-            0
-        } else {
-            self.data_island[data.0 as usize] as usize
+        match &self.data_island {
+            DataIslandTable::Unknown => 0,
+            DataIslandTable::Narrow(t) => t[data.0 as usize] as usize,
+            DataIslandTable::Wide(t) => t[data.0 as usize] as usize,
         }
     }
 }

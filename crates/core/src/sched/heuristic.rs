@@ -49,21 +49,39 @@ impl Scheduler for HeuristicScheduler {
     }
 
     fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
-        reqs.iter()
-            .map(|r| {
-                *view
-                    .locations(r.data)
-                    .iter()
-                    .min_by(|a, b| {
-                        let ca = self.cost.cost(view.status(**a), view.now, view.params);
-                        let cb = self.cost.cost(view.status(**b), view.now, view.params);
-                        ca.partial_cmp(&cb)
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                            .then(a.cmp(b))
-                    })
-                    .expect("every data item has at least one location")
-            })
-            .collect()
+        let mut out = Vec::with_capacity(reqs.len());
+        self.assign_into(reqs, view, &mut out);
+        out
+    }
+
+    fn assign_into(&mut self, reqs: &[Request], view: &SystemView<'_>, out: &mut Vec<DiskId>) {
+        out.clear();
+        out.extend(reqs.iter().map(|r| {
+            // Single pass, one cost evaluation per replica (a `min_by`
+            // would re-evaluate the running winner's cost on every
+            // comparison). Ties — including NaN costs — break toward the
+            // lower disk id, exactly as the historical
+            // `partial_cmp(..).unwrap_or(Equal).then(a.cmp(b))` did.
+            let locations = view.locations(r.data);
+            let (first, rest) = locations
+                .split_first()
+                .expect("every data item has at least one location");
+            let mut best = *first;
+            let mut best_cost = self.cost.cost(view.status(best), view.now, view.params);
+            for &d in rest {
+                let c = self.cost.cost(view.status(d), view.now, view.params);
+                let wins = match c.partial_cmp(&best_cost) {
+                    Some(std::cmp::Ordering::Less) => true,
+                    Some(std::cmp::Ordering::Greater) => false,
+                    Some(std::cmp::Ordering::Equal) | None => d < best,
+                };
+                if wins {
+                    best = d;
+                    best_cost = c;
+                }
+            }
+            best
+        }));
     }
 }
 

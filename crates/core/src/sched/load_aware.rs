@@ -22,20 +22,25 @@ impl Scheduler for LoadAwareScheduler {
     }
 
     fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
-        reqs.iter()
-            .map(|r| {
-                *view
-                    .locations(r.data)
-                    .iter()
-                    .min_by_key(|d| {
-                        let s = view.status(**d);
-                        // Ready disks can start immediately; sleeping disks
-                        // add a spin-up to every queued request.
-                        (s.load, !s.state.is_ready(), d.0)
-                    })
-                    .expect("every data item has at least one location")
-            })
-            .collect()
+        let mut out = Vec::with_capacity(reqs.len());
+        self.assign_into(reqs, view, &mut out);
+        out
+    }
+
+    fn assign_into(&mut self, reqs: &[Request], view: &SystemView<'_>, out: &mut Vec<DiskId>) {
+        out.clear();
+        out.extend(reqs.iter().map(|r| {
+            *view
+                .locations(r.data)
+                .iter()
+                .min_by_key(|d| {
+                    let s = view.status(**d);
+                    // Ready disks can start immediately; sleeping disks
+                    // add a spin-up to every queued request.
+                    (s.load, !s.state.is_ready(), d.0)
+                })
+                .expect("every data item has at least one location")
+        }));
     }
 }
 

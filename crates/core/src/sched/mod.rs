@@ -157,6 +157,17 @@ pub trait Scheduler {
     /// parallel to `reqs`, and every choice must be one of the request's
     /// replica locations.
     fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId>;
+
+    /// Allocation-free form of [`Scheduler::assign`]: writes the choices
+    /// into `out` (cleared first). Engines call this on the hot path with
+    /// a reused scratch vector, so online dispatch performs no
+    /// per-arrival allocation. The default delegates to `assign`;
+    /// the shipped schedulers override it and implement `assign` as a
+    /// thin wrapper.
+    fn assign_into(&mut self, reqs: &[Request], view: &SystemView<'_>, out: &mut Vec<DiskId>) {
+        out.clear();
+        out.append(&mut self.assign(reqs, view));
+    }
 }
 
 // Forwarding impls so engines can hold schedulers either borrowed (the
@@ -173,6 +184,10 @@ impl<T: Scheduler + ?Sized> Scheduler for &mut T {
     fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
         (**self).assign(reqs, view)
     }
+
+    fn assign_into(&mut self, reqs: &[Request], view: &SystemView<'_>, out: &mut Vec<DiskId>) {
+        (**self).assign_into(reqs, view, out)
+    }
 }
 
 impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
@@ -186,6 +201,10 @@ impl<T: Scheduler + ?Sized> Scheduler for Box<T> {
 
     fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
         (**self).assign(reqs, view)
+    }
+
+    fn assign_into(&mut self, reqs: &[Request], view: &SystemView<'_>, out: &mut Vec<DiskId>) {
+        (**self).assign_into(reqs, view, out)
     }
 }
 

@@ -34,19 +34,24 @@ impl Scheduler for RandomScheduler {
     }
 
     fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
-        reqs.iter()
-            .map(|r| {
-                let locs = view.locations(r.data);
-                let x = SplitMix64::new(
-                    self.seed ^ (r.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                )
-                .next_u64();
-                // Unbiased-enough fixed-point scaling of x into 0..len
-                // (Lemire's multiply-shift; bias is < len / 2^64).
-                let pick = ((x as u128 * locs.len() as u128) >> 64) as usize;
-                locs[pick]
-            })
-            .collect()
+        let mut out = Vec::with_capacity(reqs.len());
+        self.assign_into(reqs, view, &mut out);
+        out
+    }
+
+    fn assign_into(&mut self, reqs: &[Request], view: &SystemView<'_>, out: &mut Vec<DiskId>) {
+        out.clear();
+        out.extend(reqs.iter().map(|r| {
+            let locs = view.locations(r.data);
+            let x = SplitMix64::new(
+                self.seed ^ (r.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+            .next_u64();
+            // Unbiased-enough fixed-point scaling of x into 0..len
+            // (Lemire's multiply-shift; bias is < len / 2^64).
+            let pick = ((x as u128 * locs.len() as u128) >> 64) as usize;
+            locs[pick]
+        }));
     }
 }
 

@@ -16,7 +16,14 @@ impl Scheduler for StaticScheduler {
     }
 
     fn assign(&mut self, reqs: &[Request], view: &SystemView<'_>) -> Vec<DiskId> {
-        reqs.iter().map(|r| view.locations(r.data)[0]).collect()
+        let mut out = Vec::with_capacity(reqs.len());
+        self.assign_into(reqs, view, &mut out);
+        out
+    }
+
+    fn assign_into(&mut self, reqs: &[Request], view: &SystemView<'_>, out: &mut Vec<DiskId>) {
+        out.clear();
+        out.extend(reqs.iter().map(|r| view.locations(r.data)[0]));
     }
 }
 

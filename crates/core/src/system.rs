@@ -26,7 +26,7 @@
 
 use std::collections::HashMap;
 
-use spindown_disk::disk::{Disk, DiskEvent, DiskRequest};
+use spindown_disk::disk::{Directive, Disk, DiskEvent, DiskRequest};
 use spindown_disk::mechanics::{DiskGeometry, Mechanics};
 use spindown_disk::policy::{
     AdaptiveThreshold, AlwaysOn, FixedThreshold, IdlePolicy, QuantileThreshold, StormDamper,
@@ -191,6 +191,27 @@ impl std::error::Error for SourceError {}
 pub trait RequestSource {
     /// Pulls the next arrival; `None` means the stream is exhausted.
     fn next_request(&mut self) -> Option<Result<Request, SourceError>>;
+
+    /// Pulls up to `max` arrivals, appending them to `out`. Returns a
+    /// source error if one occurs mid-fill — arrivals pulled before the
+    /// failure stay in `out` (they are valid and the engines consume them
+    /// before the error aborts the run, exactly as per-record ingestion
+    /// did). An exhausted source leaves `out` short, possibly unchanged.
+    ///
+    /// Engines ingest through this method so the virtual-dispatch cost is
+    /// paid once per block instead of once per record; the default simply
+    /// loops `next_request`, which the blanket iterator impl monomorphizes
+    /// into a tight concrete loop.
+    fn fill_block(&mut self, out: &mut Vec<Request>, max: usize) -> Option<SourceError> {
+        while out.len() < max {
+            match self.next_request() {
+                None => return None,
+                Some(Err(e)) => return Some(e),
+                Some(Ok(r)) => out.push(r),
+            }
+        }
+        None
+    }
 }
 
 impl<I> RequestSource for I
@@ -200,6 +221,36 @@ where
     fn next_request(&mut self) -> Option<Result<Request, SourceError>> {
         self.next()
     }
+}
+
+/// Records per ingestion block: how many arrivals the engines pull from a
+/// [`RequestSource`] per virtual call, and the decoded-record block reused
+/// between the parser and the event loop.
+const INGEST_BLOCK: usize = 256;
+
+/// Scans `block` for the first arrival-time regression, continuing from
+/// `prev` (the time of the last previously accepted arrival; updated to
+/// the last accepted time). Returns the length of the valid prefix and,
+/// when a regression exists, the exact error per-record ingestion
+/// historically produced — one ordering check per block instead of one
+/// per pulled record.
+fn validate_order(block: &[Request], prev: &mut Option<SimTime>) -> (usize, Option<SourceError>) {
+    let mut p = *prev;
+    for (i, r) in block.iter().enumerate() {
+        if p.is_some_and(|t| r.at < t) {
+            *prev = p;
+            return (
+                i,
+                Some(SourceError::new(format!(
+                    "requests must be sorted by time (request {} at {:?} regressed)",
+                    r.index, r.at
+                ))),
+            );
+        }
+        p = Some(r.at);
+    }
+    *prev = p;
+    (block.len(), None)
 }
 
 /// Dispatched-but-uncompleted accounting: maps a completion back to its
@@ -285,6 +336,34 @@ impl InFlight {
     }
 }
 
+/// Engine-side idle-timer coalescing state for one local disk.
+///
+/// A large fraction of disk events are idle timers, and under bursty
+/// arrivals nearly all of them are stale by the time they fire (the disk
+/// re-activated and bumped its token). Rather than scheduling one queue
+/// entry per arm, the engine keeps `desired` as the single source of
+/// truth and maintains one invariant: **whenever a timer is armed, some
+/// queued entry fires at or before its deadline.** A re-arm overwrites
+/// `desired` and only touches the wheel when the new deadline is earlier
+/// than every entry already queued (predictive policies shrink timeouts,
+/// so deadlines move backward as well as forward); an entry that fires
+/// before the desired deadline re-schedules itself at that deadline
+/// instead of touching the disk. Delivery happens exactly at the desired
+/// deadline, and the disk still validates the token, so the scheme is
+/// behaviour-preserving — it only removes wheel traffic.
+#[derive(Debug, Clone, Copy, Default)]
+struct IdleTimer {
+    /// Latest armed `(deadline, token)`; `None` when nothing is armed
+    /// (or the armed timer was already delivered).
+    desired: Option<(SimTime, u64)>,
+    /// Earliest queued `IdleTimeout` entry for this disk, `None` when
+    /// none is known to be pending. Later stale entries may linger in
+    /// the queue after a fire resets this; they deliver nothing (the
+    /// deadline check filters them) and at worst cost one extra
+    /// re-schedule each.
+    earliest_queued: Option<SimTime>,
+}
+
 /// Per-disk RNGs, forked from the root seed in global disk order. The
 /// fork sequence must be global (forking mutates the root), so island
 /// engines receive their disks' pre-forked streams from this table and
@@ -357,7 +436,12 @@ struct IslandEngine<'a, S: Scheduler> {
     local_of: Vec<u32>,
     queue: EventQueue<Ev>,
     batch_buffer: Vec<Request>,
+    /// Reused scratch for scheduler choices — online dispatch allocates
+    /// nothing per arrival.
+    choices: Vec<DiskId>,
     in_flight: InFlight,
+    /// Per-local-disk idle-timer coalescers (see [`IdleTimer`]).
+    idle_timers: Vec<IdleTimer>,
     arrivals: usize,
     trace_end: SimTime,
     last_event: SimTime,
@@ -454,11 +538,13 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
             // the trace itself.
             queue: EventQueue::with_capacity(n_local.saturating_mul(4) + 8),
             batch_buffer: Vec::new(),
+            choices: Vec::new(),
             in_flight: if use_hash {
                 InFlight::hash()
             } else {
                 InFlight::slab(n_local)
             },
+            idle_timers: vec![IdleTimer::default(); n_local],
             arrivals: 0,
             trace_end: SimTime::ZERO,
             last_event: SimTime::ZERO,
@@ -492,12 +578,24 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
         self.peak_events = self.peak_events.max(self.queue.len());
     }
 
-    /// Feeds the next arrival (non-decreasing times, the island's own
-    /// data only). Events earlier than the arrival run first; at equal
-    /// times the arrival runs first, matching the pre-scheduled ordering
-    /// the materialized path historically used.
-    fn offer(&mut self, req: Request) {
+    /// Feeds a block of arrivals (non-decreasing times, the island's own
+    /// data only): one admission (`ensure_started`) per block, the
+    /// per-arrival loop monomorphized inline. Events earlier than an
+    /// arrival run first; at equal times the arrival runs first, matching
+    /// the pre-scheduled ordering the materialized path historically
+    /// used.
+    fn offer_batch(&mut self, reqs: &[Request]) {
+        if reqs.is_empty() {
+            return;
+        }
         self.ensure_started();
+        for req in reqs {
+            self.offer_one(*req);
+        }
+    }
+
+    /// [`IslandEngine::offer`] minus the start check.
+    fn offer_one(&mut self, req: Request) {
         while let Some(t) = self.queue.peek_time() {
             if t >= req.at {
                 break;
@@ -552,17 +650,71 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
                 }
             }
             Ev::Disk(d, event) => {
-                let outcome = self.disks[d as usize].handle(now, event);
-                if let Some(done) = outcome.completed {
-                    let arrival = self.in_flight.remove(d as usize, done.id);
-                    self.response.record(now.saturating_since(arrival));
-                }
-                for dir in outcome.directives {
-                    self.queue.schedule(now + dir.after, Ev::Disk(d, dir.event));
+                // Idle timers route through the coalescer: deliver only
+                // when this fire time IS the latest desired deadline,
+                // otherwise chase the deadline forward (or drop, if
+                // nothing is armed any more).
+                let deliver = match event {
+                    DiskEvent::IdleTimeout(_) => {
+                        let timer = &mut self.idle_timers[d as usize];
+                        // Entries fire in time order, so the firing entry
+                        // is the earliest pending one; any survivors are
+                        // later and unknown, so forget them (they fire as
+                        // harmless no-ops).
+                        timer.earliest_queued = None;
+                        match timer.desired {
+                            None => None,
+                            Some((deadline, token)) => {
+                                if now < deadline {
+                                    timer.earliest_queued = Some(deadline);
+                                    self.queue.schedule(
+                                        deadline,
+                                        Ev::Disk(d, DiskEvent::IdleTimeout(token)),
+                                    );
+                                    None
+                                } else {
+                                    // The invariant keeps an entry at or
+                                    // before the deadline, so the first
+                                    // fire at/after it is exactly at it.
+                                    debug_assert_eq!(now, deadline, "timer fired late");
+                                    timer.desired = None;
+                                    Some(DiskEvent::IdleTimeout(token))
+                                }
+                            }
+                        }
+                    }
+                    other => Some(other),
+                };
+                if let Some(event) = deliver {
+                    let outcome = self.disks[d as usize].handle(now, event);
+                    if let Some(done) = outcome.completed {
+                        let arrival = self.in_flight.remove(d as usize, done.id);
+                        self.response.record(now.saturating_since(arrival));
+                    }
+                    if let Some(dir) = outcome.directive {
+                        self.schedule_directive(d, now, dir);
+                    }
                 }
             }
         }
         self.update_peaks();
+    }
+
+    /// Schedules a disk directive, routing idle timers through the
+    /// per-disk coalescer: the wheel is touched only when no queued entry
+    /// would fire by the new deadline.
+    fn schedule_directive(&mut self, local: u32, now: SimTime, dir: Directive) {
+        if let DiskEvent::IdleTimeout(token) = dir.event {
+            let deadline = now + dir.after;
+            let timer = &mut self.idle_timers[local as usize];
+            timer.desired = Some((deadline, token));
+            if timer.earliest_queued.is_none_or(|q| deadline < q) {
+                timer.earliest_queued = Some(deadline);
+                self.queue.schedule(deadline, Ev::Disk(local, dir.event));
+            }
+        } else {
+            self.queue.schedule(now + dir.after, Ev::Disk(local, dir.event));
+        }
     }
 
     /// Whether global disk `disk` has failed as of `now`.
@@ -579,13 +731,27 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
 
     /// Asks the scheduler to place `batch` and enqueues the results.
     fn dispatch(&mut self, batch: &[Request], now: SimTime) {
-        for (l, gid) in self.global_ids.iter().enumerate() {
-            let d = &self.disks[l];
-            self.statuses[gid.index()] = DiskStatus {
-                state: d.state(),
-                last_request_at: d.last_request_at(),
-                load: d.load(),
-            };
+        // Refresh only the statuses the scheduler can actually read: the
+        // replica locations of the batch's requests (every shipped
+        // scheduler consults `view.status(d)` solely for disks in a
+        // request's location list — the same contract island partitioning
+        // already relies on). Refreshing the full island per dispatch made
+        // admission O(island disks) per arrival; this is O(replicas).
+        for req in batch {
+            for gid in self.placement.locations(req.data) {
+                let local = self.local_of[gid.index()];
+                debug_assert!(
+                    local != u32::MAX,
+                    "request {} has replica on foreign disk {gid}",
+                    req.index
+                );
+                let d = &self.disks[local as usize];
+                self.statuses[gid.index()] = DiskStatus {
+                    state: d.state(),
+                    last_request_at: d.last_request_at(),
+                    load: d.load(),
+                };
+            }
         }
         let view = SystemView {
             now,
@@ -593,13 +759,14 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
             placement: self.placement,
             statuses: self.statuses.as_slice(),
         };
-        let choices = self.scheduler.assign(batch, &view);
+        let mut choices = std::mem::take(&mut self.choices);
+        self.scheduler.assign_into(batch, &view, &mut choices);
         assert_eq!(
             choices.len(),
             batch.len(),
             "scheduler must place every request"
         );
-        for (req, disk_id) in batch.iter().zip(choices) {
+        for (req, &disk_id) in batch.iter().zip(choices.iter()) {
             assert!(
                 self.placement.locations(req.data).contains(&disk_id),
                 "scheduler placed request {} off-placement ({disk_id})",
@@ -634,7 +801,7 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
             self.requests_per_disk[local] += 1;
             let wire_id = self.in_flight.insert(local, req);
             let lba = lba_of(req.data.0, disk_id.0);
-            let directives = self.disks[local].enqueue(
+            let directive = self.disks[local].enqueue(
                 now,
                 DiskRequest {
                     id: wire_id,
@@ -642,11 +809,11 @@ impl<'a, S: Scheduler> IslandEngine<'a, S> {
                     size: req.size,
                 },
             );
-            for dir in directives {
-                self.queue
-                    .schedule(now + dir.after, Ev::Disk(local as u32, dir.event));
+            if let Some(dir) = directive {
+                self.schedule_directive(local as u32, now, dir);
             }
         }
+        self.choices = choices;
     }
 
     /// Drains every remaining event and detaches the partial metrics.
@@ -841,10 +1008,27 @@ fn run_single_engine(
     let rngs = disk_rngs(config);
     let all: Vec<DiskId> = (0..config.disks).map(DiskId).collect();
     let mut engine = IslandEngine::new(placement, config, scheduler, &all, &rngs, use_hash);
-    let mut pending = pull_next(source, None)?;
-    while let Some(req) = pending {
-        pending = pull_next(source, Some(req.at))?;
-        engine.offer(req);
+    // Decoded-record block reused between the source (parser) and the
+    // event loop: one virtual fill and one ordering scan per block, no
+    // per-record iterator plumbing.
+    let mut block: Vec<Request> = Vec::with_capacity(INGEST_BLOCK);
+    let mut prev: Option<SimTime> = None;
+    loop {
+        block.clear();
+        let src_err = source.fill_block(&mut block, INGEST_BLOCK);
+        let (valid, order_err) = validate_order(&block, &mut prev);
+        // Arrivals before a failure are real; feed them before aborting —
+        // exactly where per-record ingestion stopped.
+        engine.offer_batch(&block[..valid]);
+        if let Some(e) = order_err {
+            return Err(e);
+        }
+        if let Some(e) = src_err {
+            return Err(e);
+        }
+        if valid < INGEST_BLOCK {
+            break;
+        }
     }
     let name = engine.name;
     Ok(merge_finished(
@@ -921,10 +1105,34 @@ pub fn run_system_streamed_with_jobs(
                 )
             })
             .collect();
-        let mut pending = pull_next(source, None)?;
-        while let Some(req) = pending {
-            pending = pull_next(source, Some(req.at))?;
-            engines[partition.data_island(req.data)].offer(req);
+        let mut block: Vec<Request> = Vec::with_capacity(INGEST_BLOCK);
+        let mut prev: Option<SimTime> = None;
+        // Group each block by island before offering: engines are
+        // independent, so only the per-island arrival order matters, and
+        // feeding each engine its whole share of the block at once keeps
+        // that engine's queue and disk state hot instead of ping-ponging
+        // between islands on every record.
+        let mut by_island: Vec<Vec<Request>> = vec![Vec::with_capacity(INGEST_BLOCK); n_islands];
+        loop {
+            block.clear();
+            let src_err = source.fill_block(&mut block, INGEST_BLOCK);
+            let (valid, order_err) = validate_order(&block, &mut prev);
+            for req in &block[..valid] {
+                by_island[partition.data_island(req.data)].push(*req);
+            }
+            for (engine, share) in engines.iter_mut().zip(by_island.iter_mut()) {
+                engine.offer_batch(share);
+                share.clear();
+            }
+            if let Some(e) = order_err {
+                return Err(e);
+            }
+            if let Some(e) = src_err {
+                return Err(e);
+            }
+            if valid < INGEST_BLOCK {
+                break;
+            }
         }
         let finished: Vec<FinishedIsland> =
             engines.into_iter().map(IslandEngine::into_finished).collect();
@@ -942,14 +1150,39 @@ pub fn run_system_streamed_with_jobs(
     }
     let route_partition = &partition;
     let route_groups = &group_of_island;
+    // The reader stages a block of decoded records per virtual source
+    // call (one ordering scan per block); the splitter then parks them
+    // into per-group record blocks, and workers drain a block per lock
+    // transaction.
+    let mut staged: Vec<Request> = Vec::with_capacity(INGEST_BLOCK);
+    let mut staged_pos = 0usize;
+    let mut staged_err: Option<SourceError> = None;
+    let mut src_done = false;
     let mut prev: Option<SimTime> = None;
     let splitter: StreamSplitter<'_, Request, SourceError> = StreamSplitter::new(
-        Box::new(move || match pull_next(source, prev) {
-            Err(e) => Some(Err(e)),
-            Ok(None) => None,
-            Ok(Some(r)) => {
-                prev = Some(r.at);
-                Some(Ok(r))
+        Box::new(move || loop {
+            if staged_pos < staged.len() {
+                let r = staged[staged_pos];
+                staged_pos += 1;
+                return Some(Ok(r));
+            }
+            if let Some(e) = staged_err.take() {
+                src_done = true;
+                return Some(Err(e));
+            }
+            if src_done {
+                return None;
+            }
+            staged.clear();
+            staged_pos = 0;
+            let src_err = source.fill_block(&mut staged, INGEST_BLOCK);
+            let (valid, order_err) = validate_order(&staged, &mut prev);
+            staged.truncate(valid);
+            // An ordering regression precedes any later source failure,
+            // exactly as per-record pulling would have surfaced it.
+            staged_err = order_err.or(src_err);
+            if staged.len() < INGEST_BLOCK && staged_err.is_none() {
+                src_done = true;
             }
         }),
         Box::new(move |r: &Request| route_groups[route_partition.data_island(r.data)]),
@@ -982,8 +1215,9 @@ pub fn run_system_streamed_with_jobs(
                             )
                         })
                         .collect();
+                    let mut block: Vec<Request> = Vec::new();
                     loop {
-                        match splitter.pull(g) {
+                        match splitter.pull_block(g, &mut block) {
                             None => break,
                             Some(Err(e)) => {
                                 // Mirror the serial abort: abandon partial
@@ -991,9 +1225,23 @@ pub fn run_system_streamed_with_jobs(
                                 first_error.lock().expect("error lock").get_or_insert(e);
                                 return Vec::new();
                             }
-                            Some(Ok(req)) => {
-                                let island = partition.data_island(req.data);
-                                engines[island - range.start].offer(req);
+                            Some(Ok(())) => {
+                                // Hand contiguous same-island runs to the
+                                // engine in one `offer_batch` call; with
+                                // one island per group that is the whole
+                                // block.
+                                let mut i = 0;
+                                while i < block.len() {
+                                    let island = partition.data_island(block[i].data);
+                                    let mut j = i + 1;
+                                    while j < block.len()
+                                        && partition.data_island(block[j].data) == island
+                                    {
+                                        j += 1;
+                                    }
+                                    engines[island - range.start].offer_batch(&block[i..j]);
+                                    i = j;
+                                }
                             }
                         }
                     }
@@ -1037,27 +1285,6 @@ pub fn run_system_with_jobs(
     let mut source = requests.iter().map(|r| Ok::<Request, SourceError>(*r));
     run_system_streamed_with_jobs(&mut source, placement, factory, config, jobs)
         .expect("in-memory sorted slices cannot fail")
-}
-
-/// Pulls the next arrival from `source`, enforcing the non-decreasing
-/// time contract against the previous arrival.
-fn pull_next(
-    source: &mut dyn RequestSource,
-    prev: Option<SimTime>,
-) -> Result<Option<Request>, SourceError> {
-    match source.next_request() {
-        None => Ok(None),
-        Some(Err(e)) => Err(e),
-        Some(Ok(r)) => {
-            if prev.is_some_and(|p| r.at < p) {
-                return Err(SourceError::new(format!(
-                    "requests must be sorted by time (request {} at {:?} regressed)",
-                    r.index, r.at
-                )));
-            }
-            Ok(Some(r))
-        }
-    }
 }
 
 /// Deterministic pseudo-LBA of a data item on a disk: a hash of the

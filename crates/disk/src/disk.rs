@@ -50,14 +50,19 @@ pub struct Directive {
     pub event: DiskEvent,
 }
 
-/// Result of delivering an event: possibly a completed request, plus any
-/// follow-up directives.
+/// Result of delivering an event: possibly a completed request, plus at
+/// most one follow-up directive.
+///
+/// Every transition in the disk state machine schedules at most one
+/// follow-up event (a service completion, a spin transition end, or an
+/// idle timer), so this is an `Option`, not a list — which also keeps
+/// the per-event hot path allocation-free.
 #[derive(Debug, Default)]
 pub struct Outcome {
     /// Request that completed service (only for [`DiskEvent::ServiceDone`]).
     pub completed: Option<DiskRequest>,
-    /// Follow-up events to schedule.
-    pub directives: Vec<Directive>,
+    /// Follow-up event to schedule, if any.
+    pub directive: Option<Directive>,
 }
 
 /// One simulated disk.
@@ -169,8 +174,9 @@ impl Disk {
         }
     }
 
-    /// Accepts a request at `now`. Returns directives to schedule.
-    pub fn enqueue(&mut self, now: SimTime, req: DiskRequest) -> Vec<Directive> {
+    /// Accepts a request at `now`. Returns the directive to schedule, if
+    /// any.
+    pub fn enqueue(&mut self, now: SimTime, req: DiskRequest) -> Option<Directive> {
         self.policy.on_request(now);
         self.last_request_at = Some(now);
         match self.state() {
@@ -178,19 +184,19 @@ impl Disk {
                 // Cancel any pending idle timer and start service at once.
                 self.idle_token += 1;
                 self.meter.transition(DiskPowerState::Active, now);
-                self.start_service(req)
+                Some(self.start_service(req))
             }
             DiskPowerState::Active | DiskPowerState::SpinningUp | DiskPowerState::SpinningDown => {
                 self.queue.push(req);
-                Vec::new()
+                None
             }
             DiskPowerState::Standby => {
                 self.queue.push(req);
                 self.meter.transition(DiskPowerState::SpinningUp, now);
-                vec![Directive {
+                Some(Directive {
                     after: self.params.spinup(),
                     event: DiskEvent::SpinUpDone,
-                }]
+                })
             }
         }
     }
@@ -205,26 +211,23 @@ impl Disk {
         }
     }
 
-    fn start_service(&mut self, req: DiskRequest) -> Vec<Directive> {
+    fn start_service(&mut self, req: DiskRequest) -> Directive {
         debug_assert!(self.in_service.is_none());
         let service = self.mechanics.service_time(req.lba, req.size);
         self.in_service = Some(req);
-        vec![Directive {
+        Directive {
             after: service,
             event: DiskEvent::ServiceDone,
-        }]
+        }
     }
 
-    fn enter_idle(&mut self, now: SimTime) -> Vec<Directive> {
+    fn enter_idle(&mut self, now: SimTime) -> Option<Directive> {
         self.meter.transition(DiskPowerState::Idle, now);
         self.idle_token += 1;
-        match self.policy.idle_timeout(now) {
-            Some(after) => vec![Directive {
-                after,
-                event: DiskEvent::IdleTimeout(self.idle_token),
-            }],
-            None => Vec::new(),
-        }
+        self.policy.idle_timeout(now).map(|after| Directive {
+            after,
+            event: DiskEvent::IdleTimeout(self.idle_token),
+        })
     }
 
     fn on_spinup_done(&mut self, now: SimTime) -> Outcome {
@@ -233,12 +236,12 @@ impl Disk {
             self.meter.transition(DiskPowerState::Active, now);
             Outcome {
                 completed: None,
-                directives: self.start_service(req),
+                directive: Some(self.start_service(req)),
             }
         } else {
             Outcome {
                 completed: None,
-                directives: self.enter_idle(now),
+                directive: self.enter_idle(now),
             }
         }
     }
@@ -247,14 +250,14 @@ impl Disk {
         debug_assert_eq!(self.state(), DiskPowerState::Active);
         let done = self.in_service.take();
         debug_assert!(done.is_some(), "ServiceDone with nothing in service");
-        let directives = if let Some(next) = self.queue.pop_next(self.mechanics.head_lba()) {
-            self.start_service(next)
+        let directive = if let Some(next) = self.queue.pop_next(self.mechanics.head_lba()) {
+            Some(self.start_service(next))
         } else {
             self.enter_idle(now)
         };
         Outcome {
             completed: done,
-            directives,
+            directive,
         }
     }
 
@@ -267,10 +270,10 @@ impl Disk {
         self.meter.transition(DiskPowerState::SpinningDown, now);
         Outcome {
             completed: None,
-            directives: vec![Directive {
+            directive: Some(Directive {
                 after: self.params.spindown(),
                 event: DiskEvent::SpinDownDone,
-            }],
+            }),
         }
     }
 
@@ -284,10 +287,10 @@ impl Disk {
         self.meter.transition(DiskPowerState::SpinningUp, now);
         Outcome {
             completed: None,
-            directives: vec![Directive {
+            directive: Some(Directive {
                 after: self.params.spinup(),
                 event: DiskEvent::SpinUpDone,
-            }],
+            }),
         }
     }
 }
@@ -328,7 +331,7 @@ mod tests {
             if let Some(r) = out.completed {
                 completed.push((now, r.id));
             }
-            for d in out.directives {
+            if let Some(d) = out.directive {
                 pending.push((now + d.after, d.event));
             }
         }
@@ -342,13 +345,12 @@ mod tests {
             Box::new(FixedThreshold::breakeven(&params)),
             DiskPowerState::Standby,
         );
-        let dirs = d.enqueue(SimTime::ZERO, req(1));
+        let dir = d.enqueue(SimTime::ZERO, req(1)).expect("spin-up directive");
         assert_eq!(d.state(), DiskPowerState::SpinningUp);
-        assert_eq!(dirs.len(), 1);
-        assert_eq!(dirs[0].event, DiskEvent::SpinUpDone);
-        assert_eq!(dirs[0].after, params.spinup());
+        assert_eq!(dir.event, DiskEvent::SpinUpDone);
+        assert_eq!(dir.after, params.spinup());
 
-        let pending = vec![(SimTime::ZERO + dirs[0].after, dirs[0].event)];
+        let pending = vec![(SimTime::ZERO + dir.after, dir.event)];
         let completed = drain(&mut d, pending);
         assert_eq!(completed.len(), 1);
         assert_eq!(completed[0].1, 1);
@@ -364,23 +366,17 @@ mod tests {
     #[test]
     fn idle_disk_services_immediately() {
         let mut d = disk(Box::new(AlwaysOn), DiskPowerState::Idle);
-        let dirs = d.enqueue(SimTime::ZERO, req(7));
+        let dir = d.enqueue(SimTime::ZERO, req(7)).expect("service directive");
         assert_eq!(d.state(), DiskPowerState::Active);
-        assert_eq!(dirs.len(), 1);
-        assert_eq!(dirs[0].event, DiskEvent::ServiceDone);
-        assert!(dirs[0].after.as_secs_f64() < 0.020);
+        assert_eq!(dir.event, DiskEvent::ServiceDone);
+        assert!(dir.after.as_secs_f64() < 0.020);
     }
 
     #[test]
     fn always_on_never_spins_down() {
         let mut d = disk(Box::new(AlwaysOn), DiskPowerState::Idle);
-        let dirs = d.enqueue(SimTime::ZERO, req(1));
-        let completed = drain(
-            &mut d,
-            dirs.into_iter()
-                .map(|x| (SimTime::ZERO + x.after, x.event))
-                .collect(),
-        );
+        let dir = d.enqueue(SimTime::ZERO, req(1)).expect("service directive");
+        let completed = drain(&mut d, vec![(SimTime::ZERO + dir.after, dir.event)]);
         assert_eq!(completed.len(), 1);
         assert_eq!(d.state(), DiskPowerState::Idle);
         assert_eq!(d.meter().spindowns(), 0);
@@ -396,7 +392,7 @@ mod tests {
             .collect();
         // Two more arrive while the first is in service.
         for id in [2, 3] {
-            for x in d.enqueue(SimTime::from_micros(1), req(id)) {
+            if let Some(x) = d.enqueue(SimTime::from_micros(1), req(id)) {
                 pending.push((SimTime::from_micros(1) + x.after, x.event));
             }
         }
@@ -426,24 +422,21 @@ mod tests {
         let (t1, ev1) = pending.remove(0);
         let out = d.handle(t1, ev1);
         assert!(out.completed.is_some());
-        let idle_timer = out.directives[0];
+        let idle_timer = out.directive.expect("idle timer armed");
         assert!(matches!(idle_timer.event, DiskEvent::IdleTimeout(_)));
 
         // New request arrives before the timer fires.
         let t2 = t1 + SimDuration::from_secs(1);
-        let dirs2 = d.enqueue(t2, req(2));
+        let dir2 = d.enqueue(t2, req(2)).expect("service directive");
         assert_eq!(d.state(), DiskPowerState::Active);
 
         // The stale timer fires mid-service: must be ignored.
         let out = d.handle(t1 + idle_timer.after, idle_timer.event);
-        assert!(out.directives.is_empty());
+        assert!(out.directive.is_none());
         assert_eq!(d.state(), DiskPowerState::Active);
 
         // Finish the second request.
-        let completed = drain(
-            &mut d,
-            dirs2.into_iter().map(|x| (t2 + x.after, x.event)).collect(),
-        );
+        let completed = drain(&mut d, vec![(t2 + dir2.after, dir2.event)]);
         assert_eq!(completed.len(), 1);
     }
 
@@ -455,9 +448,9 @@ mod tests {
             DiskPowerState::Idle,
         );
         // Arm and fire the idle timer directly.
-        let dirs = d.enter_idle_for_test(SimTime::ZERO);
-        let (after, token) = match dirs[0].event {
-            DiskEvent::IdleTimeout(tok) => (dirs[0].after, tok),
+        let dir = d.enter_idle_for_test(SimTime::ZERO).expect("idle timer");
+        let (after, token) = match dir.event {
+            DiskEvent::IdleTimeout(tok) => (dir.after, tok),
             _ => panic!("expected idle timeout"),
         };
         let t_down = SimTime::ZERO + after;
@@ -466,23 +459,18 @@ mod tests {
 
         // Request arrives mid-spin-down.
         let t_req = t_down + SimDuration::from_millis(500);
-        let dirs = d.enqueue(t_req, req(9));
-        assert!(dirs.is_empty(), "must wait for spin-down completion");
+        let dir = d.enqueue(t_req, req(9));
+        assert!(dir.is_none(), "must wait for spin-down completion");
         assert_eq!(d.state(), DiskPowerState::SpinningDown);
 
         // Spin-down completes: disk must bounce straight into spin-up.
-        let t_sd = t_down + out.directives[0].after;
+        let t_sd = t_down + out.directive.expect("spin-down directive").after;
         let out2 = d.handle(t_sd, DiskEvent::SpinDownDone);
         assert_eq!(d.state(), DiskPowerState::SpinningUp);
-        assert_eq!(out2.directives[0].event, DiskEvent::SpinUpDone);
+        let up = out2.directive.expect("spin-up directive");
+        assert_eq!(up.event, DiskEvent::SpinUpDone);
 
-        let completed = drain(
-            &mut d,
-            out2.directives
-                .into_iter()
-                .map(|x| (t_sd + x.after, x.event))
-                .collect(),
-        );
+        let completed = drain(&mut d, vec![(t_sd + up.after, up.event)]);
         assert_eq!(completed.len(), 1);
         assert_eq!(completed[0].1, 9);
     }
@@ -512,13 +500,8 @@ mod tests {
             Box::new(FixedThreshold::breakeven(&params)),
             DiskPowerState::Standby,
         );
-        let dirs = d.enqueue(SimTime::ZERO, req(1));
-        drain(
-            &mut d,
-            dirs.into_iter()
-                .map(|x| (SimTime::ZERO + x.after, x.event))
-                .collect(),
-        );
+        let dir = d.enqueue(SimTime::ZERO, req(1)).expect("spin-up directive");
+        drain(&mut d, vec![(SimTime::ZERO + dir.after, dir.event)]);
         // Full cycle: 135 J up + ~TB idle at 9.3 W + 13 J down + service.
         let horizon = SimTime::from_secs(60);
         let e = d.energy_j(horizon);
@@ -530,15 +513,12 @@ mod tests {
 
     impl Disk {
         /// Test-only helper to arm the idle timer from the idle state.
-        fn enter_idle_for_test(&mut self, now: SimTime) -> Vec<Directive> {
+        fn enter_idle_for_test(&mut self, now: SimTime) -> Option<Directive> {
             self.idle_token += 1;
-            match self.policy.idle_timeout(now) {
-                Some(after) => vec![Directive {
-                    after,
-                    event: DiskEvent::IdleTimeout(self.idle_token),
-                }],
-                None => Vec::new(),
-            }
+            self.policy.idle_timeout(now).map(|after| Directive {
+                after,
+                event: DiskEvent::IdleTimeout(self.idle_token),
+            })
         }
     }
 }

@@ -31,7 +31,7 @@ fn drive(disk: &mut Disk, arrivals: &[(SimTime, DiskRequest)]) -> (Vec<u64>, Sim
         last = ev.at;
         match ev.payload {
             Ev::Arrive(r) => {
-                for d in disk.enqueue(ev.at, r) {
+                if let Some(d) = disk.enqueue(ev.at, r) {
                     queue.schedule(ev.at + d.after, Ev::Disk(d.event));
                 }
             }
@@ -40,7 +40,7 @@ fn drive(disk: &mut Disk, arrivals: &[(SimTime, DiskRequest)]) -> (Vec<u64>, Sim
                 if let Some(r) = out.completed {
                     completed.push(r.id);
                 }
-                for d in out.directives {
+                if let Some(d) = out.directive {
                     queue.schedule(ev.at + d.after, Ev::Disk(d.event));
                 }
             }

@@ -197,7 +197,13 @@ impl LatencyHistogram {
 
     /// Records a duration.
     pub fn record(&mut self, d: SimDuration) {
-        self.record_secs(d.as_secs_f64());
+        self.total += 1;
+        // `SimDuration` is µs-backed: take the mean's µs term directly
+        // rather than round-tripping through seconds. Equivalent to
+        // [`LatencyHistogram::record_secs`] — the f64 round-trip is
+        // exact for µs counts below 2^51 (~71 years).
+        self.sum_us += d.as_micros() as u128;
+        self.bucket(d.as_secs_f64());
     }
 
     /// Records a value in seconds. The value is quantized to the nearest
@@ -205,6 +211,10 @@ impl LatencyHistogram {
     pub fn record_secs(&mut self, secs: f64) {
         self.total += 1;
         self.sum_us += SimDuration::from_secs_f64(secs).as_micros() as u128;
+        self.bucket(secs);
+    }
+
+    fn bucket(&mut self, secs: f64) {
         self.max_s = self.max_s.max(secs);
         if secs < self.min_value {
             self.underflow += 1;

@@ -1,29 +1,52 @@
-//! Deterministic fan-out of one sorted stream into per-group substreams.
+//! Deterministic fan-out of one sorted stream into per-group substreams,
+//! handed off in **blocks**.
 //!
 //! [`StreamSplitter`] routes items pulled from a single upstream source to
-//! `n` consumer groups (one per island event loop) **without materializing
-//! the stream**: each group owns a bounded lookahead buffer, and whichever
-//! consumer needs an item next drives the shared source until its own next
-//! item appears, parking foreign items in their groups' buffers.
+//! `n` consumer groups (one per island worker) **without materializing the
+//! stream**: each group owns a bounded queue of fixed-size record blocks,
+//! and whichever consumer needs data next drives the shared source until
+//! its own next block fills, parking foreign items in their groups'
+//! blocks. Consumers take a whole block per lock transaction
+//! ([`StreamSplitter::pull_block`]), so the per-record cost of the
+//! cross-thread hand-off is `1/block_len` lock acquisitions instead of
+//! one — the difference between the island engines outrunning the serial
+//! loop and losing to it.
 //!
 //! Properties:
 //!
 //! * **Order-preserving** — each group receives exactly its items, in
 //!   upstream order (a `reading` flag serializes the read-route-park
-//!   transaction, so per-group FIFO order is independent of thread timing).
-//! * **Bounded** — a group's buffer never exceeds the configured capacity;
-//!   the reader blocks until the lagging consumer drains. The observed
-//!   maximum is reported by [`StreamSplitter::high_water`].
+//!   transaction, so per-group FIFO order is independent of thread
+//!   timing).
+//! * **Bounded, block-granularity backpressure** — a group's parked full
+//!   blocks never exceed `capacity` items; the reader blocks at a block
+//!   boundary until the lagging consumer drains. With the open
+//!   (partially-filled) block, a group buffers at most
+//!   `capacity + block_len` items; the observed maximum is reported by
+//!   [`StreamSplitter::high_water`].
+//! * **Recycled blocks** — drained block buffers return through a free
+//!   list, so steady-state routing performs no allocation.
 //! * **Fail-fast** — an upstream error is latched and returned to every
-//!   group, matching the serial pipeline's abort semantics.
+//!   group after its buffered items, matching the serial pipeline's abort
+//!   semantics.
 //!
 //! Deadlock freedom relies on one contract: **every group is consumed by a
 //! live thread until it yields `None` or an error**. The island runner
-//! guarantees this by construction (each worker loops on `pull` until its
-//! substream ends).
+//! guarantees this by construction (each worker loops on `pull_block`
+//! until its substream ends).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+/// Per-group buffer: parked full blocks plus the block being filled.
+struct GroupState<T> {
+    /// Full blocks awaiting the consumer, in upstream order.
+    blocks: VecDeque<Vec<T>>,
+    /// The block the reader is currently filling for this group.
+    open: Vec<T>,
+    /// Total items currently buffered (`blocks` + `open`).
+    buffered: usize,
+}
 
 /// Shared state behind the splitter's mutex.
 struct SplitState<'a, T, E> {
@@ -31,32 +54,41 @@ struct SplitState<'a, T, E> {
     source: Box<dyn FnMut() -> Option<Result<T, E>> + Send + 'a>,
     /// Maps an item to its consumer group, `0..n_groups`.
     route: Box<dyn FnMut(&T) -> usize + Send + 'a>,
-    /// Per-group lookahead buffers.
-    buffers: Vec<VecDeque<T>>,
+    groups: Vec<GroupState<T>>,
+    /// Drained block buffers awaiting reuse.
+    free: Vec<Vec<T>>,
     /// Upstream exhausted.
     done: bool,
     /// Latched upstream error, returned to every group.
     error: Option<E>,
     /// A consumer is currently driving the source.
     reading: bool,
-    /// Largest buffer length ever observed (diagnostic).
+    /// Largest per-group buffered item count ever observed (diagnostic).
     high_water: usize,
 }
 
-/// Splits one sorted upstream into per-group sorted substreams with
-/// bounded lookahead. See the [module docs](self) for the contract.
+/// Splits one sorted upstream into per-group sorted substreams of record
+/// blocks with bounded lookahead. See the [module docs](self) for the
+/// contract.
 pub struct StreamSplitter<'a, T, E> {
     state: Mutex<SplitState<'a, T, E>>,
     ready: Condvar,
+    /// Full-block backpressure threshold, in items.
     capacity: usize,
+    /// Records per block.
+    block_len: usize,
 }
 
 impl<'a, T, E: Clone> StreamSplitter<'a, T, E> {
-    /// Default per-group lookahead bound.
+    /// Default per-group lookahead bound (items in parked full blocks).
     pub const DEFAULT_CAPACITY: usize = 4096;
 
-    /// Creates a splitter over `source` routing into `n_groups` buffers of
-    /// at most `capacity` items each.
+    /// Default records per hand-off block.
+    pub const DEFAULT_BLOCK: usize = 256;
+
+    /// Creates a splitter over `source` routing into `n_groups` block
+    /// queues of at most `capacity` parked items each. Blocks hold
+    /// `min(capacity, DEFAULT_BLOCK)` records.
     ///
     /// # Panics
     ///
@@ -69,11 +101,19 @@ impl<'a, T, E: Clone> StreamSplitter<'a, T, E> {
     ) -> Self {
         assert!(n_groups > 0, "need at least one group");
         assert!(capacity > 0, "lookahead capacity must be positive");
+        let block_len = capacity.min(Self::DEFAULT_BLOCK);
         StreamSplitter {
             state: Mutex::new(SplitState {
                 source,
                 route,
-                buffers: (0..n_groups).map(|_| VecDeque::new()).collect(),
+                groups: (0..n_groups)
+                    .map(|_| GroupState {
+                        blocks: VecDeque::new(),
+                        open: Vec::new(),
+                        buffered: 0,
+                    })
+                    .collect(),
+                free: Vec::new(),
                 done: false,
                 error: None,
                 reading: false,
@@ -81,72 +121,106 @@ impl<'a, T, E: Clone> StreamSplitter<'a, T, E> {
             }),
             ready: Condvar::new(),
             capacity,
+            block_len,
         }
     }
 
-    /// Next item for `group`: `Some(Ok(item))` in upstream order,
-    /// `Some(Err(e))` if the upstream failed (latched — every later call
-    /// returns the same error), `None` once the upstream is exhausted and
-    /// the group's buffer is drained.
-    pub fn pull(&self, group: usize) -> Option<Result<T, E>> {
+    /// Records per hand-off block.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Next block for `group`, swapped into `out` (cleared first; its
+    /// spare buffer is recycled into the free list). Returns
+    /// `Some(Ok(()))` with `out` holding ≥ 1 item in upstream order,
+    /// `Some(Err(e))` if the upstream failed (latched, delivered after
+    /// the group's buffered items — every later call repeats it), `None`
+    /// once the upstream is exhausted and the group has drained.
+    pub fn pull_block(&self, group: usize, out: &mut Vec<T>) -> Option<Result<(), E>> {
+        out.clear();
         let mut st = self.state.lock().expect("splitter lock poisoned");
         loop {
-            if let Some(item) = st.buffers[group].pop_front() {
-                // A parked reader may be waiting for this buffer to drain.
+            if let Some(mut block) = st.groups[group].blocks.pop_front() {
+                st.groups[group].buffered -= block.len();
+                std::mem::swap(out, &mut block);
+                // `block` is now the consumer's drained spare; recycle it.
+                st.free.push(block);
+                // A parked reader may be waiting on this group's drain.
                 self.ready.notify_all();
-                return Some(Ok(item));
+                return Some(Ok(()));
             }
-            if let Some(e) = &st.error {
-                return Some(Err(e.clone()));
-            }
-            if st.done {
-                return None;
+            if st.done || st.error.is_some() {
+                let g = &mut st.groups[group];
+                if !g.open.is_empty() {
+                    // End-of-stream tail: a final short block.
+                    g.buffered = 0;
+                    std::mem::swap(out, &mut g.open);
+                    return Some(Ok(()));
+                }
+                return st.error.as_ref().map(|e| Err(e.clone()));
             }
             if st.reading {
                 // Another consumer is driving the source; it will either
-                // park an item for us or finish the stream.
+                // fill a block for us or finish the stream.
                 st = self.ready.wait(st).expect("splitter lock poisoned");
                 continue;
             }
             // Become the reader and drive the source until our own next
-            // item appears (or the stream ends).
+            // block fills (or the stream ends or errors).
             st.reading = true;
-            let outcome = loop {
+            loop {
                 match (st.source)() {
                     None => {
                         st.done = true;
-                        break None;
+                        break;
                     }
                     Some(Err(e)) => {
-                        st.error = Some(e.clone());
-                        break Some(Err(e));
+                        st.error = Some(e);
+                        break;
                     }
                     Some(Ok(item)) => {
                         let g = (st.route)(&item);
-                        debug_assert!(g < st.buffers.len(), "route out of range");
-                        if g == group {
-                            break Some(Ok(item));
+                        debug_assert!(g < st.groups.len(), "route out of range");
+                        if st.groups[g].open.is_empty() && st.groups[g].open.capacity() == 0 {
+                            let buf = st.free.pop().unwrap_or_default();
+                            st.groups[g].open = buf;
                         }
-                        // Park the foreign item, blocking while its group
-                        // lags `capacity` items behind. Its consumer is
-                        // live by contract and pops under this same lock,
-                        // so the wait always terminates.
-                        while st.buffers[g].len() >= self.capacity {
-                            st = self.ready.wait(st).expect("splitter lock poisoned");
+                        st.groups[g].open.push(item);
+                        st.groups[g].buffered += 1;
+                        st.high_water = st.high_water.max(st.groups[g].buffered);
+                        if st.groups[g].open.len() >= self.block_len {
+                            // Block boundary: apply backpressure, blocking
+                            // while the group's parked blocks sit at
+                            // capacity. Its consumer is live by contract
+                            // and pops under this same lock, so the wait
+                            // always terminates.
+                            while g != group
+                                && st.groups[g].buffered - st.groups[g].open.len()
+                                    >= self.capacity
+                            {
+                                st = self.ready.wait(st).expect("splitter lock poisoned");
+                            }
+                            let spare = st.free.pop().unwrap_or_default();
+                            let full = std::mem::replace(&mut st.groups[g].open, spare);
+                            st.groups[g].blocks.push_back(full);
+                            if g == group {
+                                break;
+                            }
+                            // Wake the block's consumer without waiting for
+                            // our own block to complete.
+                            self.ready.notify_all();
                         }
-                        st.buffers[g].push_back(item);
-                        st.high_water = st.high_water.max(st.buffers[g].len());
                     }
                 }
-            };
+            }
             st.reading = false;
             self.ready.notify_all();
-            return outcome;
+            // Loop back to take our block / tail / latched error.
         }
     }
 
-    /// Largest per-group buffer length observed so far. Call after all
-    /// groups have drained for the run's lookahead high-water mark.
+    /// Largest per-group buffered item count observed so far. Call after
+    /// all groups have drained for the run's lookahead high-water mark.
     pub fn high_water(&self) -> usize {
         self.state
             .lock()
@@ -166,25 +240,57 @@ mod tests {
         Box::new(move || it.next())
     }
 
+    /// Drains `group` block-by-block into a flat vector, stopping at the
+    /// end of the substream; panics on an upstream error.
+    fn pull_all<T: Clone + Send, E: Clone + std::fmt::Debug>(
+        s: &StreamSplitter<'_, T, E>,
+        group: usize,
+    ) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut block = Vec::new();
+        while let Some(r) = s.pull_block(group, &mut block) {
+            r.unwrap();
+            out.extend(block.iter().cloned());
+        }
+        out
+    }
+
     #[test]
     fn single_group_passthrough() {
         let s = StreamSplitter::new(
-            vec_source((0..100).map(Ok).collect()),
+            vec_source((0..1000).map(Ok).collect()),
             Box::new(|_: &i32| 0),
             1,
-            8,
+            64,
         );
-        let mut out = Vec::new();
-        while let Some(r) = s.pull(0) {
-            out.push(r.unwrap());
+        assert_eq!(s.block_len(), 64);
+        let out = pull_all(&s, 0);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocks_are_full_until_the_tail() {
+        let s = StreamSplitter::new(
+            vec_source((0..250).map(Ok).collect()),
+            Box::new(|_: &i32| 0),
+            1,
+            StreamSplitter::<i32, String>::DEFAULT_CAPACITY,
+        );
+        let mut lens = Vec::new();
+        let mut block = Vec::new();
+        while let Some(r) = s.pull_block(0, &mut block) {
+            r.unwrap();
+            lens.push(block.len());
         }
-        assert_eq!(out, (0..100).collect::<Vec<_>>());
-        assert_eq!(s.high_water(), 0);
+        // 250 = 256-block fixture minus the tail: everything lands in one
+        // short final block per full-block run.
+        assert_eq!(lens.iter().sum::<usize>(), 250);
+        assert!(lens[..lens.len() - 1].iter().all(|&l| l == 256));
     }
 
     #[test]
     fn routes_preserve_per_group_order() {
-        let n: i32 = 10_000;
+        let n: i32 = 30_000;
         let s = StreamSplitter::new(
             vec_source((0..n).map(Ok).collect()),
             Box::new(|x: &i32| (*x % 3) as usize),
@@ -195,13 +301,7 @@ mod tests {
             let handles: Vec<_> = (0..3usize)
                 .map(|g| {
                     let s = &s;
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        while let Some(r) = s.pull(g) {
-                            out.push(r.unwrap());
-                        }
-                        out
-                    })
+                    scope.spawn(move || pull_all(s, g))
                 })
                 .collect();
             for (g, h) in handles.into_iter().enumerate() {
@@ -215,33 +315,30 @@ mod tests {
 
     #[test]
     fn bounded_buffers_block_instead_of_growing() {
-        // Group 1 gets the first 50 items; group 0's single item comes
+        // Group 1 gets the first 200 items; group 0's single item comes
         // last. Group 0 must drive the source through all of group 1's
-        // items, respecting the capacity bound via backpressure.
-        let mut items: Vec<Result<i32, String>> = (0..50).map(|i| Ok(i * 2 + 1)).collect();
+        // items, respecting the block-granularity backpressure bound.
+        let mut items: Vec<Result<i32, String>> = (0..200).map(|i| Ok(i * 2 + 1)).collect();
         items.push(Ok(0));
-        let cap = 4;
-        let s = StreamSplitter::new(
-            vec_source(items),
-            Box::new(|x: &i32| (*x % 2) as usize),
-            2,
-            cap,
-        );
+        let cap = 16;
+        let s = StreamSplitter::new(vec_source(items), Box::new(|x: &i32| (*x % 2) as usize), 2, cap);
         std::thread::scope(|scope| {
             let s0 = &s;
-            let slow = scope.spawn(move || {
-                let mut out = Vec::new();
-                while let Some(r) = s0.pull(1) {
-                    out.push(r.unwrap());
-                }
-                out
-            });
-            assert_eq!(s.pull(0), Some(Ok(0)));
-            assert_eq!(s.pull(0), None);
+            let slow = scope.spawn(move || pull_all(s0, 1));
+            let mut block = Vec::new();
+            assert_eq!(s.pull_block(0, &mut block), Some(Ok(())));
+            assert_eq!(block, vec![0]);
+            assert_eq!(s.pull_block(0, &mut block), None);
             let odd = slow.join().unwrap();
-            assert_eq!(odd.len(), 50);
+            assert_eq!(odd.len(), 200);
         });
-        assert!(s.high_water() <= cap, "high water {}", s.high_water());
+        // Parked full blocks are capped at `cap` items; the open block can
+        // hold up to one more block beyond that.
+        assert!(
+            s.high_water() <= cap + s.block_len(),
+            "high water {}",
+            s.high_water()
+        );
     }
 
     #[test]
@@ -252,27 +349,48 @@ mod tests {
             2,
             8,
         );
-        assert_eq!(s.pull(0), Some(Ok(0)));
+        let mut block = Vec::new();
+        assert_eq!(s.pull_block(0, &mut block), Some(Ok(())));
+        assert_eq!(block, vec![0]);
         // Pulling group 0 again drives past item 1 (parked for group 1)
         // into the error.
-        assert_eq!(s.pull(0), Some(Err("boom".to_string())));
+        assert_eq!(s.pull_block(0, &mut block), Some(Err("boom".to_string())));
         // Group 1 still sees its buffered item first, then the error.
-        assert_eq!(s.pull(1), Some(Ok(1)));
-        assert_eq!(s.pull(1), Some(Err("boom".to_string())));
-        assert_eq!(s.pull(0), Some(Err("boom".to_string())));
+        assert_eq!(s.pull_block(1, &mut block), Some(Ok(())));
+        assert_eq!(block, vec![1]);
+        assert_eq!(s.pull_block(1, &mut block), Some(Err("boom".to_string())));
+        assert_eq!(s.pull_block(0, &mut block), Some(Err("boom".to_string())));
     }
 
     #[test]
     fn exhaustion_yields_none_for_all_groups() {
+        let s = StreamSplitter::new(vec_source(vec![Ok(1)]), Box::new(|_: &i32| 1), 2, 8);
+        let mut block = Vec::new();
+        assert_eq!(s.pull_block(0, &mut block), None);
+        assert_eq!(s.pull_block(1, &mut block), Some(Ok(())));
+        assert_eq!(block, vec![1]);
+        assert_eq!(s.pull_block(1, &mut block), None);
+        assert_eq!(s.pull_block(0, &mut block), None);
+    }
+
+    #[test]
+    fn block_buffers_are_recycled() {
+        // After a warm-up block cycles through, steady-state pulls swap
+        // buffers instead of allocating: the block handed back has the
+        // capacity of a previously drained one.
         let s = StreamSplitter::new(
-            vec_source(vec![Ok(1)]),
-            Box::new(|_: &i32| 1),
-            2,
-            8,
+            vec_source((0..512).map(Ok).collect()),
+            Box::new(|_: &i32| 0),
+            1,
+            256,
         );
-        assert_eq!(s.pull(0), None);
-        assert_eq!(s.pull(1), Some(Ok(1)));
-        assert_eq!(s.pull(1), None);
-        assert_eq!(s.pull(0), None);
+        let mut block = Vec::new();
+        assert_eq!(s.pull_block(0, &mut block), Some(Ok(())));
+        let first_ptr_cap = block.capacity();
+        assert_eq!(block.len(), 256);
+        assert_eq!(s.pull_block(0, &mut block), Some(Ok(())));
+        assert_eq!(block.len(), 256);
+        assert!(block.capacity() >= first_ptr_cap.min(256));
+        assert_eq!(s.pull_block(0, &mut block), None);
     }
 }
